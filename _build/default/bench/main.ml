@@ -1,0 +1,296 @@
+(** The benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§6) on the simulated substrate.
+
+    Usage: main.exe [fig8|fig9|fig10|fig11|table1|micro|all]
+
+    Absolute numbers are not expected to match the paper (the substrate is
+    a deterministic simulator, not Facebook production hardware); the
+    *shape* — who wins, by roughly what factor, where the knees are — is
+    what each section compares.  EXPERIMENTS.md records paper-vs-measured
+    for every row. *)
+
+let line () = print_endline (String.make 72 '-')
+
+let hdr title paper =
+  line ();
+  Printf.printf "%s\n" title;
+  Printf.printf "paper: %s\n" paper;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: execution modes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  hdr "Figure 8: performance of execution modes (relative to JIT-Region)"
+    "Interp 12.8%  JIT-Profile 39.8%  JIT-Tracelet 82.2%  JIT-Region 100%";
+  let modes =
+    [ ("Interp", Core.Jit_options.Interp);
+      ("JIT-Tracelet", Core.Jit_options.Tracelet);
+      ("JIT-Profile", Core.Jit_options.ProfileOnly);
+      ("JIT-Region", Core.Jit_options.Region) ]
+  in
+  let results =
+    List.map (fun (n, m) -> (n, Server.Perflab.run m)) modes
+  in
+  (* differential sanity: all modes must produce identical output *)
+  let hashes = List.map (fun (_, r) -> r.Server.Perflab.r_output_hash) results in
+  (match hashes with
+   | h :: rest ->
+     if List.exists (fun h' -> h' <> h) rest then
+       print_endline "WARNING: output hash mismatch across modes!"
+   | [] -> ());
+  let region =
+    (List.assoc "JIT-Region" results).Server.Perflab.r_weighted
+  in
+  Printf.printf "%-14s %16s %10s %14s\n"
+    "mode" "cycles/request" "relative" "(99% CI +-)";
+  List.iter
+    (fun (n, r) ->
+       Printf.printf "%-14s %16.0f %9.1f%% %14.1f\n"
+         n r.Server.Perflab.r_weighted
+         (100.0 *. region /. r.Server.Perflab.r_weighted)
+         r.Server.Perflab.r_ci99)
+    results;
+  (* the in-text §6.1 claims *)
+  let interp = (List.assoc "Interp" results).Server.Perflab.r_weighted in
+  let prof = (List.assoc "JIT-Profile" results).Server.Perflab.r_weighted in
+  let tracelet = (List.assoc "JIT-Tracelet" results).Server.Perflab.r_weighted in
+  Printf.printf "\nprofiling code vs interpreter: %.1fx faster (paper: 3.1x)\n"
+    (interp /. prof);
+  Printf.printf "region JIT speedup over tracelet JIT: %.1f%% (paper: 21.7%%)\n"
+    (100.0 *. (tracelet /. region -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: startup behaviour                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  hdr "Figure 9: server behaviour during the initial minutes after restart"
+    "code grows to ~491MB; RPS ~60% at 3min; crosses steady state after \
+     optimized code is published; 8% of JITed-code time in live code";
+  let tr = Server.Startup.simulate ~total_minutes:12.0 () in
+  Printf.printf "%8s %12s %10s\n" "minute" "JITed code" "RPS (%)";
+  List.iter
+    (fun (s : Server.Startup.sample) ->
+       Printf.printf "%8.1f %10d KB %9.1f%%\n"
+         s.s_minute s.s_code_kb s.s_rps_pct)
+    tr.t_samples;
+  Printf.printf "\npoint A (profiling done, optimization starts): %.1f min\n"
+    tr.t_point_a_min;
+  Printf.printf "point B (optimized code produced):             %.1f min\n"
+    tr.t_point_b_min;
+  Printf.printf "point C (optimized code published):            %.1f min\n"
+    tr.t_point_c_min;
+  Printf.printf "final JITed code size: %d KB\n" tr.t_final_code_kb;
+  Printf.printf "steady-state time in live-mode code: %.1f%% (paper: 8%%)\n"
+    tr.t_pct_live_steady
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: impact of individual optimizations                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  hdr "Figure 10: slowdown from disabling each optimization (Region mode)"
+    "inlining 7.3%  RCE 3.4%  guard-relax 1.4%  method-dispatch 7.2%  \
+     PGO-layout 2.8%  all-PGO 9.0%  huge-pages 1.6%";
+  let baseline = Server.Perflab.run Core.Jit_options.Region in
+  let base = baseline.Server.Perflab.r_weighted in
+  let experiments =
+    [ ("Inlining", fun (o : Core.Jit_options.t) -> o.inlining <- false);
+      ("RCE", fun (o : Core.Jit_options.t) -> o.rce <- false);
+      ("Guard Relax.", fun (o : Core.Jit_options.t) -> o.guard_relax <- false);
+      ("Method Disp.",
+       fun (o : Core.Jit_options.t) ->
+         o.method_dispatch <- false; o.inline_cache <- false);
+      ("PGO Layout",
+       fun (o : Core.Jit_options.t) ->
+         o.pgo_layout <- false; o.function_sort <- false);
+      ("All PGO", Core.Jit_options.disable_all_pgo);
+      ("Huge Pages", fun (o : Core.Jit_options.t) -> o.huge_pages <- false) ]
+  in
+  Printf.printf "%-14s %16s %10s\n" "disabled" "cycles/request" "slowdown";
+  Printf.printf "%-14s %16.0f %10s\n" "(baseline)" base "-";
+  List.iter
+    (fun (name, tweak) ->
+       let r = Server.Perflab.run Core.Jit_options.Region ~tweak in
+       Printf.printf "%-14s %16.0f %9.1f%%\n"
+         name r.Server.Perflab.r_weighted
+         (100.0 *. (r.Server.Perflab.r_weighted /. base -. 1.0)))
+    experiments
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: impact of JITed code size                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  hdr "Figure 11: performance vs JITed-code budget (fraction of baseline)"
+    "10% of code -> 61.4% perf; 40% -> 91.0%; 120% -> +0.8%";
+  let points, base_bytes = Server.Sweep.run () in
+  Printf.printf "baseline code size: %d KB\n" (base_bytes / 1024);
+  Printf.printf "%10s %12s %12s\n" "fraction" "perf (%)" "code (KB)";
+  List.iter
+    (fun (p : Server.Sweep.point) ->
+       Printf.printf "%9.0f%% %11.1f%% %12d\n"
+         (100.0 *. p.p_fraction) p.p_perf_pct (p.p_code_bytes / 1024))
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: type constraints (+ guard-relaxation statistics)           *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  hdr "Table 1: type-constraint kinds observed on profiling guards"
+    "six kinds, Generic (most relaxed) .. Specialized (most restrictive)";
+  (* run a full profile so the TransCFG is populated *)
+  Region.Relax.reset_stats ();
+  let _r = Server.Perflab.run Core.Jit_options.Region in
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (b : Region.Rdesc.block) ->
+       List.iter
+         (fun (g : Region.Rdesc.guard) ->
+            let k = Region.Rdesc.constraint_name g.g_constraint in
+            Hashtbl.replace counts k
+              (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+         b.b_preconds)
+    Region.Transcfg.blocks_by_id;
+  Printf.printf "%-22s %8s\n" "constraint" "guards";
+  List.iter
+    (fun k ->
+       Printf.printf "%-22s %8d\n" k
+         (Option.value (Hashtbl.find_opt counts k) ~default:0))
+    [ "Generic"; "Countness"; "BoxAndCountness"; "BoxAndCountnessInit";
+      "Specific"; "Specialized" ];
+  let s = Region.Relax.stats in
+  Printf.printf "\nguard relaxation: %d widened to Uncounted, %d dropped \
+                 (generic), %d dropped (Generic constraint), %d kept, \
+                 %d sibling translations subsumed\n"
+    s.relaxed_to_uncounted s.relaxed_to_generic s.dropped_generic s.kept
+    s.blocks_subsumed;
+  Printf.printf "RCE: %d IncRef/DecRef pairs eliminated, %d DecRefs \
+                 specialized to DecRefNZ\n"
+    Hhir_opt.Rce.stats.pairs_eliminated Hhir_opt.Rce.stats.decref_nz
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of the compiler itself    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  hdr "Microbenchmarks: wall-clock time of the JIT pipeline (bechamel)"
+    "(not in the paper; JIT-time engineering numbers)";
+  let open Bechamel in
+  let open Toolkit in
+  let src = Workloads.Endpoints.source in
+  let parse_test =
+    Test.make ~name:"parse+emit workload unit"
+      (Staged.stage (fun () -> ignore (Hhbc.Emit.compile src)))
+  in
+  let hhbbc_test =
+    Test.make ~name:"hhbbc inference+asserts"
+      (Staged.stage
+         (let u = Hhbc.Emit.compile src in
+          fun () ->
+            Array.iter
+              (fun f -> ignore (Hhbbc.Infer.analyze u f))
+              u.Hhbc.Hunit.functions))
+  in
+  let interp_test =
+    Test.make ~name:"interp fib(12)"
+      (Staged.stage
+         (let u = Vm.Loader.load
+              "function fib($n) { if ($n < 2) { return $n; } return fib($n-1) + fib($n-2); }"
+          in
+          fun () ->
+            let r = Vm.Interp.call_by_name u "fib" [ Runtime.Value.VInt 12 ] in
+            Runtime.Heap.decref r))
+  in
+  let tests = Test.make_grouped ~name:"pipeline" [ parse_test; hhbbc_test; interp_test ] in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+    let raw = Benchmark.all cfg instances tests in
+    List.map (fun i -> Analyze.all ols i raw) instances
+  in
+  let results = benchmark () in
+  List.iter
+    (fun tbl ->
+       Hashtbl.iter
+         (fun name result ->
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] ->
+              Printf.printf "%-32s %12.0f ns/run\n" name est
+            | _ ->
+              Printf.printf "%-32s (no estimate)\n" name)
+         tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: sensitivity of the design choices DESIGN.md calls out    *)
+(* (not figures from the paper; §5.2.1/§5.3.1 discuss the trade-offs)  *)
+(* ------------------------------------------------------------------ *)
+
+let ablate () =
+  hdr "Ablations: retranslation-chain length, region size, inline budget"
+    "design-choice sensitivity (paper discusses these qualitatively)";
+  let base = Server.Perflab.run Core.Jit_options.Region in
+  let basec = base.Server.Perflab.r_weighted in
+  let run name tweak =
+    let r = Server.Perflab.run Core.Jit_options.Region ~tweak in
+    Printf.printf "%-34s %14.0f %+8.1f%% %9d B\n" name
+      r.Server.Perflab.r_weighted
+      (100.0 *. (r.Server.Perflab.r_weighted /. basec -. 1.0))
+      r.Server.Perflab.r_code_bytes
+  in
+  Printf.printf "%-34s %14s %9s %11s\n" "configuration" "cycles/req" "delta" "code";
+  Printf.printf "%-34s %14.0f %9s %9d B\n" "(baseline)" basec "-"
+    base.Server.Perflab.r_code_bytes;
+  (* retranslation-chain length: 1 = a single specialization per srckey *)
+  List.iter
+    (fun n ->
+       run (Printf.sprintf "chain length %d" n)
+         (fun o -> o.Core.Jit_options.max_live_per_srckey <- n))
+    [ 1; 2; 8 ];
+  (* region instruction budget (§5.2.1: large functions split) *)
+  List.iter
+    (fun n ->
+       run (Printf.sprintf "max region instrs %d" n)
+         (fun o -> o.Core.Jit_options.max_region_instrs <- n))
+    [ 20; 50; 400 ];
+  (* partial-inlining budget (§5.3.1: callee size suitability) *)
+  List.iter
+    (fun n ->
+       run (Printf.sprintf "inline budget %d instrs" n)
+         (fun o -> o.Core.Jit_options.max_inline_instrs <- n))
+    [ 10; 80 ];
+  (* register file size (regalloc pressure) *)
+  List.iter
+    (fun n ->
+       run (Printf.sprintf "%d physical registers" n)
+         (fun o -> o.Core.Jit_options.nregs <- n))
+    [ 4; 8 ]
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+   | "fig8" -> fig8 ()
+   | "fig9" -> fig9 ()
+   | "fig10" -> fig10 ()
+   | "fig11" -> fig11 ()
+   | "table1" -> table1 ()
+   | "micro" -> micro ()
+   | "ablate" -> ablate ()
+   | "all" ->
+     fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate (); micro ()
+   | other ->
+     Printf.eprintf
+       "unknown target %S (use fig8|fig9|fig10|fig11|table1|ablate|micro|all)\n"
+       other;
+     exit 1);
+  line ()
+

@@ -1,0 +1,166 @@
+(** hhvm_run: command-line driver for the MiniPHP VM + JIT.
+
+    Run a MiniPHP source file under a chosen execution mode, optionally
+    dumping bytecode, profiling blocks, optimized regions, or statistics:
+
+        hhvm_run prog.mphp                        # region JIT (default)
+        hhvm_run --mode interp prog.mphp          # interpreter only
+        hhvm_run --mode tracelet prog.mphp        # gen-1 tracelet JIT
+        hhvm_run --dump-bc prog.mphp              # show HHBC and exit
+        hhvm_run --dump-regions --entry main prog.mphp
+        hhvm_run --stats prog.mphp
+        hhvm_run --no-rce --no-inlining prog.mphp # toggle optimizations
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mode_conv =
+  let parse = function
+    | "interp" -> Ok Core.Jit_options.Interp
+    | "tracelet" -> Ok Core.Jit_options.Tracelet
+    | "profile" -> Ok Core.Jit_options.ProfileOnly
+    | "region" -> Ok Core.Jit_options.Region
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+       | Core.Jit_options.Interp -> "interp"
+       | Core.Jit_options.Tracelet -> "tracelet"
+       | Core.Jit_options.ProfileOnly -> "profile"
+       | Core.Jit_options.Region -> "region")
+  in
+  Arg.conv (parse, print)
+
+let run file mode entry dump_bc dump_regions stats no_rce no_inlining
+    no_relax no_dispatch repeat =
+  let src = read_file file in
+  let unit_ = Vm.Loader.load src in
+  ignore (Hhbbc.Assert_insert.run unit_);
+  ignore (Hhbbc.Bc_opt.run unit_);
+  if dump_bc then begin
+    print_string (Hhbc.Disasm.unit_to_string unit_);
+    exit 0
+  end;
+  let opts = Core.Jit_options.default () in
+  opts.mode <- mode;
+  if no_rce then opts.rce <- false;
+  if no_inlining then opts.inlining <- false;
+  if no_relax then opts.guard_relax <- false;
+  if no_dispatch then begin
+    opts.method_dispatch <- false;
+    opts.inline_cache <- false
+  end;
+  let engine = Core.Engine.install ~opts unit_ in
+  let call () =
+    match Hhbc.Hunit.find_func unit_ entry with
+    | None ->
+      Printf.eprintf "error: function %s not found\n" entry;
+      exit 1
+    | Some _ ->
+      let r, out =
+        Vm.Output.capture (fun () -> Vm.Interp.call_by_name unit_ entry [])
+      in
+      Runtime.Heap.decref r;
+      print_string out
+  in
+  (try
+     for i = 1 to repeat do
+       call ();
+       if mode = Core.Jit_options.Region && i = max 1 (repeat / 2) then
+         ignore (Core.Engine.retranslate_all engine)
+     done
+   with
+   | Vm.Interp.Php_exception v ->
+     Printf.eprintf "\nFatal error: uncaught exception: %s\n"
+       (Runtime.Value.debug_string v);
+     Runtime.Heap.decref v;
+     exit 255
+   | Runtime.Value.Php_fatal msg ->
+     Printf.eprintf "\nFatal error: %s\n" msg;
+     exit 255);
+  if dump_regions then begin
+    print_endline "\n=== profiled regions ===";
+    Hashtbl.iter
+      (fun fid _ ->
+         let f = Hhbc.Hunit.func unit_ fid in
+         List.iter
+           (fun region ->
+              Printf.printf "--- %s ---\n%s" f.fn_name
+                (Region.Rdesc.to_string ~func:f (Region.Relax.run region)))
+           (Region.Form.form_func_regions fid))
+      Region.Transcfg.blocks_by_func
+  end;
+  if stats then begin
+    Printf.printf "\n--- stats ---\n";
+    Printf.printf "cycles: %d (interp %d, compiled %d)\n"
+      (Runtime.Ledger.read ())
+      !Runtime.Ledger.interp_cycles !Runtime.Ledger.jit_cycles;
+    Printf.printf "translations: %d live, %d profiling, %d optimized\n"
+      engine.Core.Engine.n_live engine.Core.Engine.n_profiling
+      engine.Core.Engine.n_optimized;
+    Printf.printf "code cache: %d bytes\n" (Core.Engine.code_bytes engine);
+    Printf.printf "heap: %d allocated, %d freed, %d live; %d increfs, %d decrefs\n"
+      Runtime.Heap.stats.allocated Runtime.Heap.stats.freed
+      Runtime.Heap.stats.live Runtime.Heap.stats.incref_ops
+      Runtime.Heap.stats.decref_ops;
+    let leaks = Runtime.Heap.live_allocations () in
+    if leaks <> [] then
+      Printf.printf "LEAKS: %s\n" (String.concat ", " leaks)
+  end
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"MiniPHP source file")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Core.Jit_options.Region
+         & info [ "mode"; "m" ] ~docv:"MODE"
+           ~doc:"Execution mode: interp, tracelet, profile, or region")
+  in
+  let entry =
+    Arg.(value & opt string "main"
+         & info [ "entry"; "e" ] ~docv:"FUNC" ~doc:"Entry function")
+  in
+  let dump_bc =
+    Arg.(value & flag & info [ "dump-bc" ] ~doc:"Dump HHBC and exit")
+  in
+  let dump_regions =
+    Arg.(value & flag
+         & info [ "dump-regions" ] ~doc:"Dump profiled regions after running")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics")
+  in
+  let no_rce = Arg.(value & flag & info [ "no-rce" ] ~doc:"Disable RCE") in
+  let no_inlining =
+    Arg.(value & flag & info [ "no-inlining" ] ~doc:"Disable partial inlining")
+  in
+  let no_relax =
+    Arg.(value & flag & info [ "no-guard-relax" ] ~doc:"Disable guard relaxation")
+  in
+  let no_dispatch =
+    Arg.(value & flag
+         & info [ "no-method-dispatch" ]
+           ~doc:"Disable method-dispatch optimization and inline caches")
+  in
+  let repeat =
+    Arg.(value & opt int 2
+         & info [ "repeat"; "n" ] ~docv:"N"
+           ~doc:"Run the entry function N times (region mode retranslates \
+                 half-way)")
+  in
+  let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
+  Cmd.v (Cmd.info "hhvm_run" ~doc)
+    Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
+          $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat)
+
+let () = exit (Cmd.eval cmd)

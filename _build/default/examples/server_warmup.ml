@@ -1,0 +1,39 @@
+(** Server warmup: run the Figure 9 startup simulation on the full workload
+    suite and render the three curves (code size, RPS, steady state) as an
+    ASCII chart.
+
+        dune exec examples/server_warmup.exe [minutes]
+*)
+
+let () =
+  let minutes =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0
+  in
+  Printf.printf "simulating %.0f minutes of post-restart traffic...\n%!" minutes;
+  let tr = Server.Startup.simulate ~total_minutes:minutes () in
+  let max_kb =
+    List.fold_left (fun m (s : Server.Startup.sample) -> max m s.s_code_kb)
+      1 tr.t_samples
+  in
+  Printf.printf "\n%6s | %-30s | %-42s\n" "min" "JITed code" "RPS vs steady state";
+  Printf.printf "%s\n" (String.make 84 '-');
+  List.iter
+    (fun (s : Server.Startup.sample) ->
+       let code_bar = s.s_code_kb * 28 / max_kb in
+       let rps_bar = int_of_float (min s.s_rps_pct 140.0 /. 3.5) in
+       Printf.printf "%6.1f | %-28s%3dK | %-38s%5.1f%%\n"
+         s.s_minute
+         (String.make (max code_bar 1) '#')
+         s.s_code_kb
+         (String.make (max rps_bar 1) '*')
+         s.s_rps_pct)
+    tr.t_samples;
+  Printf.printf "%s\n" (String.make 84 '-');
+  Printf.printf "A: profiling complete, background optimization starts  %.1f min\n"
+    tr.t_point_a_min;
+  Printf.printf "B: optimized code produced                             %.1f min\n"
+    tr.t_point_b_min;
+  Printf.printf "C: optimized translations published                    %.1f min\n"
+    tr.t_point_c_min;
+  Printf.printf "steady-state JITed-code time spent in live-mode code:  %.1f%% (paper: 8%%)\n"
+    tr.t_pct_live_steady

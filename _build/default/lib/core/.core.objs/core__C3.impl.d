@@ -1,0 +1,1 @@
+lib/core/c3.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array C3 Exec Hashtbl Hhbc Hhir Hhir_opt Jit_options List Option Printf Region Runtime Simcpu Sys Translation Vasm Vm

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Float Hashtbl Hhbc Hhir List Option Printf Runtime Simcpu Translation Vasm Vm

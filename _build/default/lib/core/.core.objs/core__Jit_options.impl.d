@@ -1,0 +1,1 @@
+lib/core/jit_options.ml: Hhir

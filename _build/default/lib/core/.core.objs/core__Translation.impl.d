@@ -1,0 +1,1 @@
+lib/core/translation.ml: Array Hashtbl Hhir List Region Simcpu Vasm

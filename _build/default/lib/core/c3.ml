@@ -1,0 +1,78 @@
+(** C3 function sorting (paper §5.1.1; Ottoni & Maher, CGO'17).
+
+    Builds a weighted directed call graph from the dynamic profile, clusters
+    callees with their hottest callers (bottom-up, heaviest arc first,
+    subject to a cluster-size cap so clusters stay within a page), and
+    orders clusters by density.  The engine uses the resulting order to
+    place optimized translations in the code cache, improving I-TLB and
+    i-cache behaviour. *)
+
+type cluster = {
+  mutable members : int list;   (* function ids, layout order *)
+  mutable samples : int;        (* total call weight into the cluster *)
+  mutable size : int;           (* code bytes *)
+}
+
+let max_cluster_bytes = 1 lsl 20
+
+(** [sort ~edges ~sizes funcs] returns the function ids in placement order.
+    [edges] are ((caller, callee), weight); [sizes] gives each function's
+    code size in bytes. *)
+let sort ~(edges : ((int * int) * int) list) ~(sizes : int -> int)
+    (funcs : int list) : int list =
+  let cluster_of : (int, cluster) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+       Hashtbl.replace cluster_of f
+         { members = [ f ]; samples = 0; size = sizes f })
+    funcs;
+  (* incoming call weight per function, for density ordering *)
+  let in_weight : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((_, callee), w) ->
+       Hashtbl.replace in_weight callee
+         (w + Option.value (Hashtbl.find_opt in_weight callee) ~default:0))
+    edges;
+  Hashtbl.iter
+    (fun f c -> c.samples <- Option.value (Hashtbl.find_opt in_weight f) ~default:0)
+    cluster_of;
+  (* process arcs heaviest-first: append the callee's cluster to the
+     caller's cluster when the callee is its cluster's head *)
+  let arcs = List.sort (fun (_, a) (_, b) -> compare b a) edges in
+  List.iter
+    (fun ((caller, callee), w) ->
+       match Hashtbl.find_opt cluster_of caller, Hashtbl.find_opt cluster_of callee with
+       | Some cc, Some kc when cc != kc ->
+         let callee_is_head =
+           match kc.members with f :: _ -> f = callee | [] -> false
+         in
+         if callee_is_head && cc.size + kc.size <= max_cluster_bytes && w > 0 then begin
+           cc.members <- cc.members @ kc.members;
+           cc.samples <- cc.samples + kc.samples;
+           cc.size <- cc.size + kc.size;
+           List.iter (fun f -> Hashtbl.replace cluster_of f cc) kc.members
+         end
+       | _ -> ())
+    arcs;
+  (* distinct clusters, ordered by density (samples per byte) *)
+  let seen = Hashtbl.create 16 in
+  let clusters =
+    List.filter_map
+      (fun f ->
+         match Hashtbl.find_opt cluster_of f with
+         | Some c ->
+           (match c.members with
+            | head :: _ when head = f && not (Hashtbl.mem seen head) ->
+              Hashtbl.replace seen head ();
+              Some c
+            | _ -> None)
+         | None -> None)
+      funcs
+  in
+  let density c =
+    float_of_int c.samples /. float_of_int (max 1 c.size)
+  in
+  let ordered =
+    List.stable_sort (fun a b -> compare (density b) (density a)) clusters
+  in
+  List.concat_map (fun c -> c.members) ordered

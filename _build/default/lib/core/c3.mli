@@ -1,0 +1,14 @@
+(** C3 function sorting (paper §5.1.1; Ottoni & Maher, CGO'17): clusters
+    callees with their hottest callers over the dynamic call graph and
+    orders clusters by density, deciding code-cache placement. *)
+
+(** [sort ~edges ~sizes funcs] returns the function ids of [funcs] in
+    placement order.  [edges] is the weighted dynamic call graph as
+    [((caller, callee), weight)]; [sizes] estimates each function's code
+    size in bytes (used both for the per-cluster size cap and for density
+    ordering).  Every input function appears exactly once in the result. *)
+val sort :
+  edges:((int * int) * int) list ->
+  sizes:(int -> int) ->
+  int list ->
+  int list

@@ -1,0 +1,450 @@
+(** The JIT engine (paper §4, Fig. 5): translation cache, compilation modes,
+    OSR side-exit handling, retranslate-all, and function sorting.
+
+    Execution model: every PHP-level call goes through {!call_func}, which
+    tries to enter compiled code at the function entry; the interpreter
+    consults {!try_enter} at taken jumps.  Compiled code leaves through
+    ReqBind exits, which either chain directly into another translation
+    (translation linking / retranslation chains) or resume the interpreter
+    with the VM state the exit spec describes — including materializing
+    partially-inlined callee frames (§5.3.1). *)
+
+open Runtime.Value
+module Rd = Region.Rdesc
+
+type phase = PProfiling | POptimized
+
+type t = {
+  opts : Jit_options.t;
+  hunit : Hhbc.Hunit.t;
+  machine : Exec.machine;
+  cache : Simcpu.Codecache.t;
+  (* (fid, pc) -> chain of translations (tried in order) *)
+  trans : (int * int, Translation.t list ref) Hashtbl.t;
+  (* srckeys where compilation failed / budget exhausted: don't retry *)
+  nocompile : (int * int, unit) Hashtbl.t;
+  mutable phase : phase;
+  mutable optimized_published : bool;
+  (* stats *)
+  mutable n_live : int;
+  mutable n_profiling : int;
+  mutable n_optimized : int;
+  mutable opt_bytes : int;
+  mutable compile_count : int;
+}
+
+let current : t option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* simulated JIT-time cost charged for live/profiling compilation (the
+   optimized pass runs on background threads and is not charged, §6.2) *)
+let live_compile_cycles n = 400 + 90 * n
+let prof_compile_cycles n = 300 + 60 * n
+
+let weights_for (eng : t) (lowered : Hhir.Lower.lowered) : (int, int) Hashtbl.t =
+  ignore eng;
+  let w = Hashtbl.create 16 in
+  List.iter
+    (fun (rbid, irid) ->
+       let rb = Region.Transcfg.block rbid in
+       Hashtbl.replace w irid (max 1 (Region.Transcfg.block_weight rb)))
+    lowered.lw_blockmap;
+  w
+
+(** Compile a region into an assembled translation. *)
+let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
+    ~(kind : Translation.kind) : Translation.t option =
+  let mode = match kind with
+    | Translation.KLive -> Hhir.Lower.Live
+    | Translation.KProfiling -> Hhir.Lower.Profiling
+    | Translation.KOptimized -> Hhir.Lower.Optimized
+  in
+  let lopts = Jit_options.lower_options eng.opts in
+  let lowered =
+    Hhir.Lower.lower_region eng.hunit ~func_id:fid ~region ~mode ~opts:lopts
+  in
+  Hhir.Verify.verify lowered.lw_ir;
+  ignore (Hhir_opt.Pipeline.run ~mode ~opts:lopts lowered.lw_ir);
+  Hhir.Verify.verify lowered.lw_ir;
+  let weights =
+    if kind = Translation.KOptimized then weights_for eng lowered
+    else begin
+      (* no profile: entry blocks weight 1; stubs 0 *)
+      let w = Hashtbl.create 8 in
+      List.iter (fun (_, irid) -> Hashtbl.replace w irid 1) lowered.lw_blockmap;
+      w
+    end
+  in
+  let prog = Vasm.Vlower.lower lowered.lw_ir ~weights in
+  let pgo = kind = Translation.KOptimized && eng.opts.pgo_layout in
+  let prog, sections = Vasm.Layout.run ~pgo prog in
+  let prog = Vasm.Jumpopt.run prog in
+  let ra = Vasm.Regalloc.run prog ~nregs:eng.opts.nregs in
+  let entry_block = Rd.entry region in
+  eng.compile_count <- eng.compile_count + 1;
+  Translation.assemble ~fid ~srckey:entry_block.b_start ~kind ~ra ~sections
+    ~entries:lowered.lw_entries ~cache:eng.cache
+
+let publish (eng : t) (tr : Translation.t) =
+  let key = (tr.tr_fid, tr.tr_srckey) in
+  let chain =
+    match Hashtbl.find_opt eng.trans key with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.replace eng.trans key c;
+      c
+  in
+  chain := !chain @ [ tr ]
+
+(** Lazily compile a live or profiling translation for (frame, pc). *)
+let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
+  : Translation.t option =
+  let fid = frame.func.fn_id in
+  if Hashtbl.mem eng.nocompile (fid, pc) then None
+  else begin
+    let kind =
+      match eng.opts.mode, eng.phase with
+      | Jit_options.Interp, _ -> assert false
+      | Jit_options.Tracelet, _ -> Translation.KLive
+      | Jit_options.ProfileOnly, _ -> Translation.KProfiling
+      | Jit_options.Region, PProfiling -> Translation.KProfiling
+      | Jit_options.Region, POptimized -> Translation.KLive
+    in
+    let oracle (loc : Rd.loc) : Hhbc.Rtype.t =
+      match loc with
+      | Rd.LLocal l -> Hhbc.Rtype.of_value frame.locals.(l)
+      | Rd.LStack d -> Hhbc.Rtype.of_value frame.stack.(frame.sp - 1 - d)
+    in
+    let counter =
+      if kind = Translation.KProfiling then Some (Vm.Prof.new_counter ())
+      else None
+    in
+    let smode = match kind with
+      | Translation.KProfiling -> Region.Select.MProfiling
+      | _ -> Region.Select.MLive
+    in
+    let block =
+      Region.Select.select eng.hunit ~func_id:fid ~start:pc ~mode:smode
+        ~oracle ?counter ()
+    in
+    if block.b_len = 0 then begin
+      Hashtbl.replace eng.nocompile (fid, pc) ();
+      None
+    end else begin
+      if kind = Translation.KProfiling then
+        Region.Transcfg.register_block block;
+      let region = Region.Form.single block in
+      (* live translations are guard-relaxed using constraints only;
+         profiling translations are never relaxed (§5.2.2) *)
+      let region =
+        if kind = Translation.KLive && eng.opts.guard_relax
+        then Region.Relax.run region
+        else region
+      in
+      match compile_region eng ~fid ~region ~kind with
+      | Some tr ->
+        (match kind with
+         | Translation.KLive ->
+           eng.n_live <- eng.n_live + 1;
+           Runtime.Ledger.charge_jit (live_compile_cycles block.b_len)
+         | Translation.KProfiling ->
+           eng.n_profiling <- eng.n_profiling + 1;
+           Runtime.Ledger.charge_jit (prof_compile_cycles block.b_len)
+         | Translation.KOptimized -> ());
+        publish eng tr;
+        Some tr
+      | None ->
+        (* budget exhausted *)
+        Hashtbl.replace eng.nocompile (fid, pc) ();
+        None
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entering compiled code                                              *)
+(* ------------------------------------------------------------------ *)
+
+let guard_matches (frame : Vm.Interp.frame) (g : Rd.guard) : bool =
+  match g.g_loc with
+  | Rd.LLocal l -> Hhbc.Rtype.value_matches g.g_type frame.locals.(l)
+  | Rd.LStack d ->
+    frame.sp - 1 - d >= 0
+    && Hhbc.Rtype.value_matches g.g_type frame.stack.(frame.sp - 1 - d)
+
+(** Find a translation entry whose preconditions hold for the live state. *)
+let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
+  : (Translation.t * int * Rd.block) option =
+  match Hashtbl.find_opt eng.trans (frame.func.fn_id, pc) with
+  | None -> None
+  | Some chain ->
+    let rec try_trans = function
+      | [] -> None
+      | (tr : Translation.t) :: rest ->
+        let rec try_entries = function
+          | [] -> None
+          | (rb, idx) :: more ->
+            Runtime.Ledger.charge_jit (2 * List.length rb.Rd.b_preconds);
+            if List.for_all (guard_matches frame) rb.Rd.b_preconds then
+              Some (tr, idx, rb)
+            else try_entries more
+        in
+        (match try_entries tr.tr_entries with
+         | Some r -> Some r
+         | None -> try_trans rest)
+    in
+    try_trans !chain
+
+(** Materialize an inlined callee frame from exit metadata (§5.3.1). *)
+let materialize_inline (eng : t) (tr : Translation.t)
+    (reader : Vasm.Regalloc.operand -> value) (ie : Hhir.Ir.inline_exit)
+  : Vm.Interp.frame =
+  let callee = Hhbc.Hunit.func eng.hunit ie.ie_fid in
+  let read_tmp (t : Hhir.Ir.tmp) : value =
+    match Hashtbl.find_opt tr.tr_loc t.t_id with
+    | Some loc -> reader loc
+    | None -> VUninit
+  in
+  let locals = Array.make (max callee.fn_num_locals 1) VUninit in
+  List.iter (fun (l, t) -> if l < Array.length locals then locals.(l) <- read_tmp t)
+    ie.ie_locals;
+  let stack = Array.make Vm.Interp.max_stack VUninit in
+  List.iteri (fun i t -> stack.(i) <- read_tmp t) ie.ie_stack;
+  { Vm.Interp.func = callee;
+    unit_ = eng.hunit;
+    locals;
+    stack;
+    sp = List.length ie.ie_stack;
+    this_ = (match ie.ie_this with Some t -> read_tmp t | None -> VNull);
+    iters = Array.init (max callee.fn_num_iters 1)
+        (fun _ -> { Vm.Interp.it_arr = None; it_pos = 0 }) }
+
+(** Attempt to enter compiled code at (frame, pc); handles chaining through
+    exits until compiled execution ends.  This function implements the
+    [translation_hook] contract. *)
+let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
+  : Vm.Interp.enter_result =
+  let prev_prof_block : int option ref = ref None in
+  let rec go (pc : int) (first : bool) : Vm.Interp.enter_result =
+    let entry =
+      match select_entry eng frame pc with
+      | Some e -> Some e
+      | None ->
+        if eng.opts.mode = Jit_options.Interp then None
+        else begin
+          (* lazy compilation; limit chain growth per srckey *)
+          let chain_len =
+            match Hashtbl.find_opt eng.trans (frame.func.fn_id, pc) with
+            | Some c -> List.length !c
+            | None -> 0
+          in
+          if chain_len >= eng.opts.max_live_per_srckey then None
+          else
+            match compile_lazy eng frame pc with
+            | Some _ -> select_entry eng frame pc
+            | None -> None
+        end
+    in
+    match entry with
+    | None ->
+      if first then Vm.Interp.NoTranslation else Vm.Interp.Resumed pc
+    | Some (tr, idx, rb) ->
+      (* record TransCFG arcs between consecutive profiling blocks (§4.2) *)
+      (* profiling translations carry instrumentation beyond the block
+         counter (targeted profiles, §4.1 item 4); charge its overhead at
+         each entry *)
+      if tr.tr_kind = Translation.KProfiling then
+        Runtime.Ledger.charge_jit 45;
+      (match tr.tr_kind with
+       | Translation.KProfiling ->
+         (match !prev_prof_block with
+          | Some src ->
+            if Sys.getenv_opt "JIT_TRACE" <> None then
+              Printf.eprintf "ARC %d -> %d\n" src rb.Rd.b_id;
+            Region.Transcfg.record_arc ~src ~dst:rb.Rd.b_id
+          | None -> ());
+         prev_prof_block := Some rb.Rd.b_id
+       | _ -> prev_prof_block := None);
+      let entry_sp = frame.sp in
+      if Sys.getenv_opt "JIT_TRACE" <> None then
+        Printf.eprintf "ENTER tr=%d fid=%d pc=%d sp=%d\n"
+          tr.tr_id tr.tr_fid pc entry_sp;
+      let outcome, reader =
+        Exec.run_with_state eng.machine tr ~entry:idx ~frame ~entry_sp
+      in
+      if Sys.getenv_opt "JIT_TRACE" <> None then
+        Printf.eprintf "LEAVE tr=%d fid=%d -> %s\n" tr.tr_id tr.tr_fid
+          (match outcome with
+           | Exec.XReturn _ -> "return"
+           | Exec.XBind e ->
+             let es = tr.tr_exits.(e) in
+             Printf.sprintf "bind pc=%d spd=%d interp=%b inline=%b"
+               es.es_pc es.es_spdelta es.es_interp (es.es_inline <> None)
+           | Exec.XUnwind _ -> "unwind");
+      (match outcome with
+       | Exec.XReturn v -> Vm.Interp.Returned v
+       | Exec.XBind eid ->
+         let es = tr.tr_exits.(eid) in
+         (match es.es_inline with
+          | None when es.es_interp ->
+            (* the exit re-executes its instruction: must interpret *)
+            frame.sp <- entry_sp + es.es_spdelta;
+            Vm.Interp.Resumed es.es_pc
+          | None ->
+            frame.sp <- entry_sp + es.es_spdelta;
+            go es.es_pc false
+          | Some ie ->
+            (* partial-inlining side exit: run the rest of the callee in
+               the interpreter, push its result, continue in the caller *)
+            frame.sp <- entry_sp + es.es_spdelta;
+            let cf = materialize_inline eng tr reader ie in
+            (match Vm.Interp.run cf ie.ie_pc with
+             | v ->
+               Vm.Interp.push frame v;
+               go es.es_pc false
+             | exception Vm.Interp.Php_exception e ->
+               (* the callee frame was torn down by its unwinder; the
+                  exception propagates into the caller at the call's pc *)
+               Vm.Interp.Returned
+                 (Vm.Interp.resume_with_exception frame (es.es_pc - 1) e)))
+       | Exec.XUnwind (eid, exn_v) ->
+         let es = tr.tr_exits.(eid) in
+         frame.sp <- entry_sp + es.es_spdelta;
+         (match es.es_inline with
+          | Some ie ->
+            (* exception inside a call made by inlined code: give the
+               callee's handlers a chance first *)
+            let cf = materialize_inline eng tr reader ie in
+            (try
+               let v = Vm.Interp.resume_with_exception cf ie.ie_pc exn_v in
+               Vm.Interp.push frame v;
+               go es.es_pc false
+             with Vm.Interp.Php_exception e2 ->
+               (* propagate into the caller at the call's pc *)
+               Vm.Interp.Returned
+                 (Vm.Interp.resume_with_exception frame (es.es_pc - 1) e2))
+          | None ->
+            Vm.Interp.Returned
+              (Vm.Interp.resume_with_exception frame es.es_pc exn_v)))
+  in
+  go pc true
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program reoptimization (§5.1)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Estimate a function's code size from its profiled blocks (for C3). *)
+let func_size_estimate (fid : int) : int =
+  match Hashtbl.find_opt Region.Transcfg.blocks_by_func fid with
+  | Some l ->
+    40 + List.fold_left (fun a (b : Rd.block) -> a + 12 * b.b_len) 0 !l
+  | None -> 40
+
+(** The global retranslation trigger (§5.1): form regions for every profiled
+    function, optimize, sort functions with C3, and publish the optimized
+    code.  Profiling translations are dropped (their section is reclaimed).
+    Returns the number of optimized translations produced. *)
+let retranslate_all (eng : t) : int =
+  eng.phase <- POptimized;
+  (* candidate functions, hottest first *)
+  let funcs =
+    Hashtbl.fold (fun fid _ acc -> fid :: acc) Region.Transcfg.blocks_by_func []
+    |> List.sort_uniq compare
+  in
+  (* function order: C3 over the dynamic call graph *)
+  let order =
+    if eng.opts.function_sort then begin
+      let edges = Vm.Prof.call_graph () in
+      (* add method-call edges resolved through receiver-class profiles *)
+      let medges =
+        List.filter_map
+          (fun (caller, mname, cls, w) ->
+             if cls < 0 || cls >= Runtime.Vclass.count () then None
+             else
+               Option.map
+                 (fun (m : Runtime.Vclass.meth) -> ((caller, m.m_func), w))
+                 (Runtime.Vclass.lookup_method (Runtime.Vclass.get cls) mname))
+          (Vm.Prof.method_edges ())
+      in
+      C3.sort ~edges:(edges @ medges) ~sizes:func_size_estimate funcs
+    end else funcs
+  in
+  (* drop profiling translations; optimized code replaces them *)
+  Hashtbl.reset eng.trans;
+  Hashtbl.reset eng.nocompile;
+  let count = ref 0 in
+  List.iter
+    (fun fid ->
+       let regions =
+         Region.Form.form_func_regions
+           ~max_instrs:eng.opts.max_region_instrs fid
+       in
+       List.iter
+         (fun region ->
+            let region =
+              if eng.opts.guard_relax then Region.Relax.run region else region
+            in
+            match compile_region eng ~fid ~region
+                    ~kind:Translation.KOptimized with
+            | Some tr ->
+              publish eng tr;
+              eng.n_optimized <- eng.n_optimized + 1;
+              eng.opt_bytes <- eng.opt_bytes + tr.tr_bytes;
+              incr count
+            | None -> ())
+         regions)
+    order;
+  eng.optimized_published <- true;
+  (* map the hot section onto huge pages (§5.1.2) *)
+  let lo, hi = Simcpu.Codecache.main_range eng.cache in
+  Simcpu.Itlb.set_huge eng.machine.itlb ~enabled:eng.opts.huge_pages ~lo ~hi;
+  !count
+
+(* ------------------------------------------------------------------ *)
+(* Call dispatch and installation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let call_func (eng : t) (u : Hhbc.Hunit.t) (fid : int) (args : value array)
+    (this_ : value) : value =
+  Vm.Prof.record_func_entry fid;
+  let f = Hhbc.Hunit.func u fid in
+  let frame = Vm.Interp.make_frame u f args this_ in
+  match try_enter eng frame 0 with
+  | Vm.Interp.Returned v -> v
+  | Vm.Interp.Resumed pc -> Vm.Interp.run frame pc
+  | Vm.Interp.NoTranslation -> Vm.Interp.run frame 0
+
+(** Create an engine for a loaded unit and install it as the VM's execution
+    engine (call dispatcher + translation hook). *)
+let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
+  let opts = match opts with Some o -> o | None -> Jit_options.default () in
+  let eng = {
+    opts;
+    hunit = u;
+    machine = Exec.create_machine ();
+    cache = Simcpu.Codecache.create ?budget:opts.code_budget ();
+    trans = Hashtbl.create 256;
+    nocompile = Hashtbl.create 64;
+    phase = PProfiling;
+    optimized_published = false;
+    n_live = 0; n_profiling = 0; n_optimized = 0;
+    opt_bytes = 0; compile_count = 0;
+  } in
+  current := Some eng;
+  Region.Transcfg.reset ();
+  Vm.Prof.reset ();
+  Region.Relax.reset_stats ();
+  Hhir_opt.Rce.reset_stats ();
+  (if opts.mode = Jit_options.Interp then begin
+     Vm.Interp.call_dispatch := Vm.Interp.call_interpreted;
+     Vm.Interp.translation_hook := (fun _ _ -> Vm.Interp.NoTranslation)
+   end else begin
+     Vm.Interp.call_dispatch := (fun u fid args this_ -> call_func eng u fid args this_);
+     Vm.Interp.translation_hook := (fun frame pc -> try_enter eng frame pc)
+   end);
+  eng
+
+let code_bytes (eng : t) : int = Simcpu.Codecache.bytes_used eng.cache

@@ -1,0 +1,78 @@
+(** JIT configuration: one knob per optimization the paper evaluates
+    (Fig. 10) plus the execution-mode selector (Fig. 8) and the code-size
+    budget (Fig. 11). *)
+
+type mode =
+  | Interp        (** bytecode interpreter only *)
+  | Tracelet      (** gen-1: live (tracelet) translations only *)
+  | ProfileOnly   (** profiling translations, never optimized (§6.1) *)
+  | Region        (** gen-2: profile -> retranslate-all -> optimized *)
+
+type t = {
+  mutable mode : mode;
+  (* HHIR optimizations (Fig. 10) *)
+  mutable inlining : bool;
+  mutable rce : bool;
+  mutable guard_relax : bool;
+  mutable method_dispatch : bool;     (* profile-guided dispatch *)
+  mutable inline_cache : bool;
+  (* Vasm / whole-program *)
+  mutable pgo_layout : bool;          (* profile-guided block layout + split *)
+  mutable function_sort : bool;       (* C3 function sorting (§5.1.1) *)
+  mutable huge_pages : bool;          (* §5.1.2 *)
+  (* other PGO consumers, for the "all PGO" experiment *)
+  mutable load_elim : bool;
+  mutable store_elim : bool;
+  mutable gvn : bool;
+  mutable simplify : bool;
+  (* policy *)
+  mutable code_budget : int option;   (* bytes; None = unlimited *)
+  mutable max_live_per_srckey : int;  (* retranslation-chain length limit *)
+  mutable nregs : int;
+  mutable max_region_instrs : int;
+  mutable max_inline_blocks : int;    (* partial-inlining budget *)
+  mutable max_inline_instrs : int;
+}
+
+let default () : t = {
+  mode = Region;
+  inlining = true;
+  rce = true;
+  guard_relax = true;
+  method_dispatch = true;
+  inline_cache = true;
+  pgo_layout = true;
+  function_sort = true;
+  huge_pages = true;
+  load_elim = true;
+  store_elim = true;
+  gvn = true;
+  simplify = true;
+  code_budget = None;
+  max_live_per_srckey = 4;
+  nregs = 12;
+  max_region_instrs = 200;
+  max_inline_blocks = 4;
+  max_inline_instrs = 40;
+}
+
+(** Disable every profile-guided optimization except region formation and
+    partial inlining — the paper's "All PGO" experiment (§6.3). *)
+let disable_all_pgo (t : t) =
+  t.guard_relax <- false;
+  t.method_dispatch <- false;
+  t.pgo_layout <- false;
+  t.function_sort <- false
+
+let lower_options (t : t) : Hhir.Lower.options =
+  { Hhir.Lower.o_inline = t.inlining;
+    o_method_dispatch = t.method_dispatch;
+    o_inline_cache = t.inline_cache;
+    o_max_inline_blocks = t.max_inline_blocks;
+    o_max_inline_instrs = t.max_inline_instrs;
+    o_rce = t.rce;
+    o_load_elim = t.load_elim;
+    o_store_elim = t.store_elim;
+    o_gvn = t.gvn;
+    o_simplify = t.simplify;
+    o_relax = t.guard_relax }

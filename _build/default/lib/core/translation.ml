@@ -1,0 +1,119 @@
+(** Assembled translations: Vasm after register allocation, placed at
+    concrete byte addresses in the code cache. *)
+
+open Vasm.Vinstr
+
+type kind = KLive | KProfiling | KOptimized
+
+type t = {
+  tr_id : int;
+  tr_fid : int;
+  tr_srckey : int;                      (* entry bytecode pc *)
+  tr_kind : kind;
+  tr_code : Vasm.Regalloc.operand Vasm.Vinstr.t array;
+  tr_addr : int array;                  (* byte address of each instruction *)
+  (* entry chain: engine checks preconditions and enters at the index *)
+  tr_entries : (Region.Rdesc.block * int) list;
+  tr_exits : Hhir.Ir.exit_spec array;
+  tr_loc : (int, Vasm.Regalloc.operand) Hashtbl.t;  (* vreg -> location *)
+  tr_nslots : int;
+  tr_label_index : (int, int) Hashtbl.t;
+  tr_bytes : int;                       (* total code bytes *)
+}
+
+let next_id = ref 0
+
+(** Assemble a register-allocated program into the code cache.  Returns
+    None when the code budget is exhausted. *)
+let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
+    ~(ra : Vasm.Regalloc.result)
+    ~(sections : (int, Vasm.Layout.section) Hashtbl.t)
+    ~(entries : (Region.Rdesc.block * int) list)   (* block, IR block id *)
+    ~(cache : Simcpu.Codecache.t) : t option =
+  let p = ra.ra_prog in
+  let section_of vb =
+    match kind with
+    | KProfiling -> Simcpu.Codecache.Prof
+    | KLive -> Simcpu.Codecache.Live
+    | KOptimized ->
+      (match Hashtbl.find_opt sections vb.vb_id with
+       | Some Vasm.Layout.Cold -> Simcpu.Codecache.Cold
+       | _ -> Simcpu.Codecache.Main)
+  in
+  (* split blocks by target section, preserving layout order *)
+  let hot, cold =
+    List.partition (fun vb -> section_of vb <> Simcpu.Codecache.Cold) p.vblocks
+  in
+  let section_bytes bl =
+    List.fold_left
+      (fun acc vb ->
+         acc + List.fold_left (fun a i -> a + size_bytes i) 0 vb.vb_instrs)
+      0 bl
+  in
+  let hot_bytes = section_bytes hot and cold_bytes = section_bytes cold in
+  let hot_sec = match kind with
+    | KProfiling -> Simcpu.Codecache.Prof
+    | KLive -> Simcpu.Codecache.Live
+    | KOptimized -> Simcpu.Codecache.Main
+  in
+  match Simcpu.Codecache.alloc cache hot_sec hot_bytes with
+  | None -> None
+  | Some hot_base ->
+    let cold_base =
+      if cold_bytes = 0 then Some 0
+      else Simcpu.Codecache.alloc cache Simcpu.Codecache.Cold cold_bytes
+    in
+    match cold_base with
+    | None -> None
+    | Some cold_base ->
+      let code = ref [] and addrs = ref [] in
+      let label_index = Hashtbl.create 16 in
+      let idx = ref 0 in
+      let place base bl =
+        let cursor = ref base in
+        List.iter
+          (fun vb ->
+             Hashtbl.replace label_index vb.vb_id !idx;
+             List.iter
+               (fun i ->
+                  code := i :: !code;
+                  addrs := !cursor :: !addrs;
+                  cursor := !cursor + size_bytes i;
+                  incr idx)
+               vb.vb_instrs)
+          bl
+      in
+      place hot_base hot;
+      place cold_base cold;
+      (* empty blocks at the end of a section: map their labels to the end
+         of the code (they would fall through; lower_bc never produces
+         them, but jumpopt stripping can leave an empty final block) *)
+      List.iter
+        (fun vb ->
+           if not (Hashtbl.mem label_index vb.vb_id) then
+             Hashtbl.replace label_index vb.vb_id !idx)
+        p.vblocks;
+      let tr_entries =
+        List.map
+          (fun (rb, irb) ->
+             let i =
+               match Hashtbl.find_opt label_index irb with
+               | Some i -> i
+               | None -> 0
+             in
+             (rb, i))
+          entries
+      in
+      incr next_id;
+      Some { tr_id = !next_id;
+             tr_fid = fid;
+             tr_srckey = srckey;
+             tr_kind = kind;
+             tr_code = Array.of_list (List.rev !code);
+             tr_addr = Array.of_list (List.rev !addrs);
+             tr_entries;
+             tr_exits = p.vexits;
+             tr_loc = ra.ra_loc;
+             tr_nslots = ra.ra_nslots;
+             tr_label_index = label_index;
+             tr_bytes = hot_bytes + cold_bytes }

@@ -1,0 +1,1 @@
+lib/hhbbc/assert_insert.ml: Array Hhbc Infer List

@@ -1,0 +1,1 @@
+lib/hhbbc/bc_opt.ml: Array Hhbc Infer Option

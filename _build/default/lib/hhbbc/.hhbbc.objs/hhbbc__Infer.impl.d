@@ -1,0 +1,1 @@
+lib/hhbbc/infer.ml: Array Fun Hhbc List Queue Vm

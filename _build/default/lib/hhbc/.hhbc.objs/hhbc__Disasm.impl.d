@@ -1,0 +1,1 @@
+lib/hhbc/disasm.ml: Array Buffer Hunit Instr List Mphp Printf Rtype Runtime String

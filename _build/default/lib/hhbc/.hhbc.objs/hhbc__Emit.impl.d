@@ -1,0 +1,1 @@
+lib/hhbc/emit.ml: Array Hashtbl Hunit Instr List Mphp Option Printf

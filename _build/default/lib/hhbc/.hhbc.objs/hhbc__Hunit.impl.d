@@ -1,0 +1,1 @@
+lib/hhbc/hunit.ml: Array Hashtbl Instr List Runtime

@@ -1,0 +1,1 @@
+lib/hhbc/rtype.ml: Format Mphp Runtime String

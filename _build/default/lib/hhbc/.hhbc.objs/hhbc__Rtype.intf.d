@@ -1,0 +1,1 @@
+lib/hhbc/rtype.mli: Format Mphp Runtime

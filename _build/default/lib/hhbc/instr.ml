@@ -1,0 +1,152 @@
+(** HipHop Bytecode (HHBC) — the stack-based bytecode that is the interface
+    between the ahead-of-time and runtime halves of the VM (paper §2.2).
+
+    Instructions push/pop the evaluation stack and generally transfer
+    reference-count ownership with the value (which is why naïve codegen is
+    refcount-heavy and RCE matters, §5.3.2).  "Bytecode addresses" are
+    instruction indices within a function body; jump targets are absolute
+    indices. *)
+
+type local = int
+
+type incdec_op = PostInc | PostDec | PreInc | PreDec
+
+type binop =
+  | OpAdd | OpSub | OpMul | OpDiv | OpMod | OpConcat
+  | OpEq | OpNeq | OpSame | OpNSame
+  | OpLt | OpLte | OpGt | OpGte
+  | OpBitAnd | OpBitOr | OpBitXor | OpShl | OpShr
+
+type t =
+  (* --- constants --- *)
+  | Int of int
+  | Dbl of float
+  | String of string          (** pushes an uncounted static string *)
+  | True
+  | False
+  | Null
+  | NewArray                  (** push a fresh empty array *)
+  | AddNewElemC               (** arr v -> arr' : append *)
+  | AddElemC                  (** arr k v -> arr' : keyed insert *)
+  (* --- locals and stack --- *)
+  | CGetL of local            (** push local (incref); fatal on uninit *)
+  | CGetL2 of local           (** push local *under* the current top *)
+  | CGetQuietL of local       (** push local, Null if uninit (isset-style read) *)
+  | PushL of local            (** move local to stack, local becomes uninit *)
+  | SetL of local             (** local := top; top stays (incref'd) *)
+  | PopL of local             (** pop into local *)
+  | PopC                      (** pop and decref *)
+  | Dup                       (** duplicate top (incref) *)
+  | IncDecL of local * incdec_op  (** numeric ++/-- on a local; pushes result *)
+  | IssetL of local
+  | UnsetL of local
+  (* --- operators (pop operands, push result) --- *)
+  | Binop of binop
+  | Not
+  | Neg
+  | BitNot
+  | CastInt | CastDbl | CastString | CastBool
+  | InstanceOf of string      (** obj/value on stack; pushes bool *)
+  | IsTypeL of local * Runtime.Value.tag  (** is_int($x) etc., no incref *)
+  (* --- control flow --- *)
+  | Jmp of int
+  | JmpZ of int               (** pop; jump if falsy *)
+  | JmpNZ of int              (** pop; jump if truthy *)
+  | RetC                      (** return top of stack *)
+  | Throw                     (** pop; raise as exception *)
+  | Fatal of string
+  (* --- calls --- *)
+  | FCall of int * int        (** function id, nargs; args on stack in order *)
+  | FCallD of string * int    (** unresolved direct call by name (late bound) *)
+  | FCallBuiltin of string * int
+  | FCallM of string * int    (** method: receiver under nargs args *)
+  | NewObjD of string * int   (** class name, ctor nargs; pushes the object *)
+  | This                      (** push $this (incref); fatal if none *)
+  (* --- members --- *)
+  | QueryM_Elem               (** base k -> v : array element read (incref v) *)
+  | QueryM_Prop of string     (** obj -> v : property read *)
+  | SetM_ElemL of local       (** k v -> v : $loc[k] = v, with COW *)
+  | SetM_NewElemL of local    (** v -> v : $loc[] = v *)
+  | UnsetM_ElemL of local     (** k -> : unset($loc[k]) *)
+  | SetM_Prop of string       (** obj v -> v : $obj->p = v *)
+  | IncDecM_Prop of string * incdec_op (** obj -> result *)
+  | IssetM_Elem               (** base k -> bool *)
+  | IssetM_Prop of string     (** obj -> bool *)
+  | Print                     (** pop and append to the VM output buffer *)
+  (* --- iterators (foreach) --- *)
+  | IterInit of int * int     (** iter id, done-target; pops the array *)
+  | IterKV of int * local option * local  (** load key/value locals for iter *)
+  | IterNext of int * int     (** iter id, loop-target *)
+  | IterFree of int
+  (* --- assertions from hhbbc (paper §2.2): trusted type facts --- *)
+  | AssertRATL of local * Rtype.t
+  | AssertRATStk of int * Rtype.t
+  | Nop
+
+(** Exception-table entry: try-region [start, end_) with a handler. *)
+type ex_entry = {
+  ex_start : int;
+  ex_end : int;
+  ex_handler : int;           (** handler entry pc *)
+  ex_class : string;          (** catch class name *)
+  ex_local : local;           (** local receiving the exception value *)
+}
+
+(** Compile-time constants (parameter and property defaults).  Arrays are
+    kept as templates and materialized per use site, so the refcount audit
+    stays exact. *)
+type cval =
+  | CNull
+  | CBool of bool
+  | CInt of int
+  | CDbl of float
+  | CStr of string
+  | CArr of (ckey option * cval) list
+
+and ckey = CKInt of int | CKStr of string
+
+type param_info = {
+  pi_name : string;
+  pi_hint : Mphp.Ast.hint option;
+  pi_default : cval option;
+}
+
+type func = {
+  fn_id : int;
+  fn_name : string;                (** "Cls::meth" for methods *)
+  fn_params : param_info array;
+  fn_num_locals : int;
+  fn_local_names : string array;   (** index -> name; temps get "@tN" *)
+  fn_num_iters : int;
+  mutable fn_body : t array;
+  mutable fn_ex_table : ex_entry list;
+  fn_cls : string option;          (** defining class name, for methods *)
+}
+
+let is_terminal = function
+  | Jmp _ | RetC | Throw | Fatal _ -> true
+  | _ -> false
+
+(** Instructions that unconditionally or conditionally transfer control. *)
+let branch_targets (i : t) : int list =
+  match i with
+  | Jmp t | JmpZ t | JmpNZ t -> [ t ]
+  | IterInit (_, t) | IterNext (_, t) -> [ t ]
+  | _ -> []
+
+(** Conservative: does executing this instruction possibly raise a PHP
+    exception or fatal (and hence require a side-exit point in the JIT)? *)
+let can_throw = function
+  | Int _ | Dbl _ | String _ | True | False | Null | NewArray
+  | Jmp _ | JmpZ _ | JmpNZ _ | PopC | Dup | Nop
+  | AssertRATL _ | AssertRATStk _ | IssetL _ | UnsetL _
+  | SetL _ | PopL _ | PushL _ | CGetQuietL _ | IsTypeL _ -> false
+  | _ -> true
+
+let binop_name = function
+  | OpAdd -> "Add" | OpSub -> "Sub" | OpMul -> "Mul" | OpDiv -> "Div"
+  | OpMod -> "Mod" | OpConcat -> "Concat"
+  | OpEq -> "Eq" | OpNeq -> "Neq" | OpSame -> "Same" | OpNSame -> "NSame"
+  | OpLt -> "Lt" | OpLte -> "Lte" | OpGt -> "Gt" | OpGte -> "Gte"
+  | OpBitAnd -> "BitAnd" | OpBitOr -> "BitOr" | OpBitXor -> "BitXor"
+  | OpShl -> "Shl" | OpShr -> "Shr"

@@ -1,0 +1,1 @@
+lib/hhir/ir.ml: Buffer Hashtbl Hhbc List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/hhir/lower.ml: Array Hashtbl Hhbc Ir List Option Printf Region Runtime Vm

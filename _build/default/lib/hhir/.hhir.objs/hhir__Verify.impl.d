@@ -1,0 +1,1 @@
+lib/hhir/verify.ml: Hashtbl Hhbc Ir List Printf

@@ -1,0 +1,69 @@
+(** HHIR verifier: structural invariants checked after lowering and after
+    the optimization pipeline (a JIT's equivalent of -fverify-ir).
+
+    Checked invariants:
+    - every referenced block and exit id exists;
+    - every block ends with (exactly one) terminal instruction;
+    - no instruction follows a terminal;
+    - destination types are never Bottom;
+    - branchy instructions carry a target; terminals other than ReqBind/RetC
+      do too;
+    - within a block, no SSA temporary is defined twice. *)
+
+open Ir
+
+exception Verify_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Verify_error m)) fmt
+
+let verify (u : t) : unit =
+  let block_ids = List.map fst u.blocks in
+  let check_block_ref ctx id =
+    if not (List.mem id block_ids) then
+      err "%s references missing block B%d" ctx id
+  in
+  List.iter (check_block_ref "entry list") (u.entry :: u.entries);
+  List.iter
+    (fun (bid, b) ->
+       let defined = Hashtbl.create 16 in
+       let rec go = function
+         | [] -> err "block B%d has no terminal" bid
+         | [ last ] ->
+           if not (is_terminal last.i_op) then
+             err "block B%d ends with non-terminal %s" bid (op_name last.i_op)
+         | i :: rest ->
+           if is_terminal i.i_op then
+             err "block B%d: instruction after terminal %s" bid (op_name i.i_op);
+           go rest
+       in
+       go b.b_instrs;
+       List.iter
+         (fun i ->
+            (match i.i_dst with
+             | Some d ->
+               if Hhbc.Rtype.is_bottom d.t_ty then
+                 err "B%d: %s defines a Bottom-typed tmp t%d" bid
+                   (op_name i.i_op) d.t_id;
+               if Hashtbl.mem defined d.t_id then
+                 err "B%d: t%d defined twice" bid d.t_id;
+               Hashtbl.replace defined d.t_id ()
+             | None -> ());
+            (match i.i_op, i.i_taken with
+             | (Jmp | JmpZero | JmpNZero | CheckLoc _ | CheckStk _ | CheckType),
+               None ->
+               err "B%d: %s without a target" bid (op_name i.i_op)
+             | (Jmp | JmpZero | JmpNZero | CheckLoc _ | CheckStk _ | CheckType),
+               Some t ->
+               check_block_ref (Printf.sprintf "B%d:%s" bid (op_name i.i_op)) t
+             | ReqBind e, _ ->
+               if e < 0 || e >= u.n_exits then
+                 err "B%d: ReqBind references missing exit %d" bid e
+             | _ -> ()))
+         b.b_instrs)
+    u.blocks;
+  (* fixups reference valid exits *)
+  Hashtbl.iter
+    (fun iid e ->
+       if e < 0 || e >= u.n_exits then
+         err "fixup for instruction %d references missing exit %d" iid e)
+    u.call_fixups

@@ -1,0 +1,1 @@
+lib/hhir_opt/dce.ml: Hashtbl Hhir List Util

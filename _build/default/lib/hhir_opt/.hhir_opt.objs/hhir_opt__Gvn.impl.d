@@ -1,0 +1,1 @@
+lib/hhir_opt/gvn.ml: Hashtbl Hhbc Hhir List String Util

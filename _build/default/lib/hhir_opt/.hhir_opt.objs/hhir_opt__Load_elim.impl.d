@@ -1,0 +1,1 @@
+lib/hhir_opt/load_elim.ml: Hashtbl Hhbc Hhir List Option Util

@@ -1,0 +1,1 @@
+lib/hhir_opt/pipeline.ml: Dce Gvn Hhir Load_elim Rce Simplify Store_elim Unreachable

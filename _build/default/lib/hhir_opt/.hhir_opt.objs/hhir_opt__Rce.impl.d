@@ -1,0 +1,1 @@
+lib/hhir_opt/rce.ml: Array Hashtbl Hhbc Hhir List

@@ -1,0 +1,1 @@
+lib/hhir_opt/simplify.ml: Hashtbl Hhbc Hhir List Option Util

@@ -1,0 +1,1 @@
+lib/hhir_opt/store_elim.ml: Hashtbl Hhir List

@@ -1,0 +1,1 @@
+lib/hhir_opt/unreachable.ml: Hashtbl Hhir List Util

@@ -1,0 +1,1 @@
+lib/hhir_opt/util.ml: Hashtbl Hhir List Option

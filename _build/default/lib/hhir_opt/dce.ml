@@ -1,0 +1,50 @@
+(** Dead code elimination: removes pure instructions whose results are never
+    used (including by side-exit metadata), and everything after a block's
+    first terminal instruction. *)
+
+open Hhir.Ir
+
+let truncate_after_terminal (u : t) : int =
+  let removed = ref 0 in
+  List.iter
+    (fun (_, b) ->
+       let rec take = function
+         | [] -> []
+         | i :: rest ->
+           if is_terminal i.i_op || (match i.i_op with ReqBind _ -> true | _ -> false)
+           then begin
+             removed := !removed + List.length rest;
+             [ i ]
+           end
+           else i :: take rest
+       in
+       b.b_instrs <- take b.b_instrs)
+    u.blocks;
+  !removed
+
+let run (u : t) : int =
+  let removed = ref (truncate_after_terminal u) in
+  let continue_ = ref true in
+  while !continue_ do
+    let used = Util.used_tmps u in
+    let round = ref 0 in
+    List.iter
+      (fun (_, b) ->
+         b.b_instrs <-
+           List.filter
+             (fun i ->
+                let dead =
+                  is_pure i.i_op
+                  && i.i_taken = None
+                  && (match i.i_dst with
+                      | Some d -> not (Hashtbl.mem used d.t_id)
+                      | None -> (match i.i_op with Nop -> true | _ -> false))
+                in
+                if dead then incr round;
+                not dead)
+             b.b_instrs)
+      u.blocks;
+    removed := !removed + !round;
+    continue_ := !round > 0
+  done;
+  !removed

@@ -1,0 +1,46 @@
+(** Global value numbering over pure instructions.
+
+    Operates per block (HHIR region blocks are short; cross-block redundancy
+    is largely handled by load elimination and the region former's guard
+    elision).  Two pure instructions with the same opcode and congruent
+    arguments produce the same value; the later one becomes a copy. *)
+
+open Hhir.Ir
+
+let op_key (op : op) : string = op_name op
+
+let run (u : t) : int =
+  let changed = ref 0 in
+  let replace : (int, tmp) Hashtbl.t = Hashtbl.create 32 in
+  let rec res (t : tmp) =
+    match Hashtbl.find_opt replace t.t_id with
+    | Some t' -> res t'
+    | None -> t
+  in
+  List.iter
+    (fun (_, b) ->
+       let table : (string, tmp) Hashtbl.t = Hashtbl.create 32 in
+       List.iter
+         (fun i ->
+            i.i_args <- List.map res i.i_args;
+            if is_pure i.i_op && i.i_taken = None then
+              match i.i_dst with
+              | Some d ->
+                let key =
+                  op_key i.i_op ^ "|"
+                  ^ String.concat ","
+                      (List.map (fun a -> string_of_int a.t_id) i.i_args)
+                in
+                (match Hashtbl.find_opt table key with
+                 | Some prev when Hhbc.Rtype.subtype prev.t_ty d.t_ty ->
+                   Hashtbl.replace replace d.t_id prev;
+                   i.i_op <- Nop;
+                   i.i_args <- [];
+                   i.i_dst <- None;
+                   incr changed
+                 | _ -> Hashtbl.replace table key d)
+              | None -> ())
+         b.b_instrs)
+    u.blocks;
+  Util.substitute u res;
+  !changed

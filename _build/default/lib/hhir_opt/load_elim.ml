@@ -1,0 +1,59 @@
+(** Load elimination (paper Fig. 7).
+
+    Frame locals are private to their frame in MiniPHP (no by-reference
+    arguments, no backtrace introspection), so a PHP-level call cannot read
+    or write the caller's locals — loads stay valid across calls.  Only
+    StLoc (same local), IterKVH (writes its key/value locals) and Teardown
+    invalidate cached local values; only StStk invalidates stack-slot
+    caches. *)
+
+open Hhir.Ir
+module R = Hhbc.Rtype
+
+let run (u : t) : int =
+  let changed = ref 0 in
+  let replace : (int, tmp) Hashtbl.t = Hashtbl.create 32 in
+  let rec res (t : tmp) =
+    match Hashtbl.find_opt replace t.t_id with
+    | Some t' -> res t'
+    | None -> t
+  in
+  List.iter
+    (fun (_, b) ->
+       let locs : (int, tmp) Hashtbl.t = Hashtbl.create 8 in
+       let stks : (int, tmp) Hashtbl.t = Hashtbl.create 8 in
+       List.iter
+         (fun i ->
+            i.i_args <- List.map res i.i_args;
+            match i.i_op, i.i_args with
+            | LdLoc l, [] ->
+              (match i.i_dst with
+               | Some d ->
+                 (match Hashtbl.find_opt locs l with
+                  | Some v when R.subtype v.t_ty d.t_ty ->
+                    Hashtbl.replace replace d.t_id v;
+                    i.i_op <- Nop; i.i_dst <- None;
+                    incr changed
+                  | _ -> Hashtbl.replace locs l d)
+               | None -> ())
+            | StLoc l, [ v ] -> Hashtbl.replace locs l v
+            | LdStk s, [] ->
+              (match i.i_dst with
+               | Some d ->
+                 (match Hashtbl.find_opt stks s with
+                  | Some v when R.subtype v.t_ty d.t_ty ->
+                    Hashtbl.replace replace d.t_id v;
+                    i.i_op <- Nop; i.i_dst <- None;
+                    incr changed
+                  | _ -> Hashtbl.replace stks s d)
+               | None -> ())
+            | StStk s, [ v ] -> Hashtbl.replace stks s v
+            | IterKVH (_, kloc, vloc), _ ->
+              Option.iter (Hashtbl.remove locs) kloc;
+              Hashtbl.remove locs vloc
+            | Teardown, _ -> Hashtbl.reset locs
+            | _ -> ())
+         b.b_instrs)
+    u.blocks;
+  Util.substitute u res;
+  !changed

@@ -1,0 +1,39 @@
+(** The HHIR optimization pipeline (paper Fig. 7, HHIR column).
+
+    Profiling translations skip the expensive passes (inlining happens at
+    lowering time; load/store elimination and RCE are disabled) to keep
+    compilation fast, per §4.1 item 5. *)
+
+open Hhir.Lower
+
+type pass_stats = {
+  ps_simplified : int;
+  ps_gvn : int;
+  ps_loads : int;
+  ps_stores : int;
+  ps_rce_pairs : int;
+  ps_dce : int;
+  ps_unreachable : int;
+}
+
+let run ~(mode : mode) ~(opts : options) (u : Hhir.Ir.t) : pass_stats =
+  let full = mode = Optimized in
+  let simplified = ref 0 and gvn = ref 0 and loads = ref 0 in
+  let stores = ref 0 and rce_pairs = ref 0 and dce = ref 0 in
+  (* profiling translations skip even simplify: JIT speed over code speed *)
+  if opts.o_simplify && mode <> Profiling then simplified := Simplify.run u;
+  if full && opts.o_load_elim then loads := Load_elim.run u;
+  if full && opts.o_gvn then gvn := Gvn.run u;
+  if opts.o_simplify && mode <> Profiling then
+    simplified := !simplified + Simplify.run u;
+  if full && opts.o_store_elim then stores := Store_elim.run u;
+  if full && opts.o_rce then rce_pairs := Rce.run u;
+  dce := Dce.run u;
+  let unreachable = Unreachable.run u in
+  { ps_simplified = !simplified;
+    ps_gvn = !gvn;
+    ps_loads = !loads;
+    ps_stores = !stores;
+    ps_rce_pairs = !rce_pairs;
+    ps_dce = !dce;
+    ps_unreachable = unreachable }

@@ -1,0 +1,48 @@
+(** Partial dead-store elimination (paper Fig. 7).
+
+    A StLoc/StStk is dead when the same slot is overwritten later in the
+    block with no intervening *observation point*.  VM memory is observed
+    whenever control can leave compiled code: side exits (checks, ReqBind),
+    branches, calls (exception unwinding reads the flushed state), DecRef
+    (a destructor diverting through the unwinder), and loads of the slot. *)
+
+open Hhir.Ir
+
+let observes (op : op) : bool =
+  match op with
+  | CheckLoc _ | CheckStk _ | CheckType | ReqBind _ | Jmp | JmpZero | JmpNZero
+  | RetC | Teardown
+  | CallPhp _ | CallPhpT _ | CallMethodSlow _ | CallMethodCached _
+  | CallCtor _ | CallBuiltin _
+  | DecRef
+  | IterInitH _ | IterNextH _ | IterKVH _ | IterFreeH _ -> true
+  | _ -> false
+
+let run (u : t) : int =
+  let removed = ref 0 in
+  List.iter
+    (fun (_, b) ->
+       (* scan backwards: remember pending overwrites per slot *)
+       let pending_loc : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+       let pending_stk : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+       let rev = List.rev b.b_instrs in
+       List.iter
+         (fun i ->
+            match i.i_op with
+            | StLoc l ->
+              if Hashtbl.mem pending_loc l then begin
+                i.i_op <- Nop; i.i_args <- []; incr removed
+              end else Hashtbl.replace pending_loc l ()
+            | StStk s ->
+              if Hashtbl.mem pending_stk s then begin
+                i.i_op <- Nop; i.i_args <- []; incr removed
+              end else Hashtbl.replace pending_stk s ()
+            | LdLoc l -> Hashtbl.remove pending_loc l
+            | LdStk s -> Hashtbl.remove pending_stk s
+            | op when observes op ->
+              Hashtbl.reset pending_loc;
+              Hashtbl.reset pending_stk
+            | _ -> ())
+         rev)
+    u.blocks;
+  !removed

@@ -1,0 +1,20 @@
+(** Unreachable-code elimination: drops blocks not reachable from any engine
+    entry point. *)
+
+open Hhir.Ir
+
+let run (u : t) : int =
+  let reach = Hashtbl.create 16 in
+  let roots = if u.entries = [] then [ u.entry ] else u.entries in
+  let rec visit id =
+    if not (Hashtbl.mem reach id) then begin
+      Hashtbl.replace reach id ();
+      match List.assoc_opt id u.blocks with
+      | Some b -> List.iter visit (Util.succs u b)
+      | None -> ()
+    end
+  in
+  List.iter visit roots;
+  let before = List.length u.blocks in
+  u.blocks <- List.filter (fun (id, _) -> Hashtbl.mem reach id) u.blocks;
+  before - List.length u.blocks

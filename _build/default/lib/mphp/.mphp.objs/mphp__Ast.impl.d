@@ -1,0 +1,1 @@
+lib/mphp/ast.ml:

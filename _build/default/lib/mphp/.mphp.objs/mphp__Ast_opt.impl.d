@@ -1,0 +1,1 @@
+lib/mphp/ast_opt.ml: Ast List Option

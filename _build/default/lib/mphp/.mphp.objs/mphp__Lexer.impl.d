@@ -1,0 +1,1 @@
+lib/mphp/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/mphp/parser.ml: Array Ast Lexer List Printf String

@@ -1,0 +1,183 @@
+(** AST-level optimizations — the role of the HipHop compiler front end
+    (paper §2.3): constant folding and algebraic simplification performed
+    ahead of bytecode emission.  The heavier analysis (type inference,
+    assertion insertion) lives in [hhbbc], mirroring the paper's migration
+    of optimization from the front end to the bytecode level. *)
+
+open Ast
+
+let rec fold_expr (e : expr) : expr =
+  match e with
+  | Int _ | Dbl _ | Str _ | Bool _ | Null | Var _ | This -> e
+  | ArrayLit items ->
+    ArrayLit (List.map (fun (k, v) -> (Option.map fold_expr k, fold_expr v)) items)
+  | Binop (op, a, b) -> fold_binop op (fold_expr a) (fold_expr b)
+  | Unop (op, a) -> fold_unop op (fold_expr a)
+  | And (a, b) ->
+    let a = fold_expr a in
+    (match a with
+     | Bool true -> fold_expr b
+     | Bool false -> Bool false
+     | _ -> And (a, fold_expr b))
+  | Or (a, b) ->
+    let a = fold_expr a in
+    (match a with
+     | Bool false -> fold_expr b
+     | Bool true -> Bool true
+     | _ -> Or (a, fold_expr b))
+  | Ternary (c, t, f) when c == t ->
+    (* `c ?: f` is Ternary with physically shared condition/then; preserve
+       the sharing so the emitter evaluates c only once *)
+    let c' = fold_expr c in
+    (match c' with
+     | Bool true -> c'
+     | Bool false -> fold_expr f
+     | _ -> Ternary (c', c', fold_expr f))
+  | Ternary (c, t, f) ->
+    let c = fold_expr c in
+    (match c with
+     | Bool true -> fold_expr t
+     | Bool false -> fold_expr f
+     | Int 0 -> fold_expr f
+     | Int _ -> fold_expr t
+     | _ -> Ternary (c, fold_expr t, fold_expr f))
+  | Index (a, i) -> Index (fold_expr a, fold_expr i)
+  | Prop (a, p) -> Prop (fold_expr a, p)
+  | Call (f, args) -> Call (f, List.map fold_expr args)
+  | MethodCall (o, m, args) -> MethodCall (fold_expr o, m, List.map fold_expr args)
+  | New (c, args) -> New (c, List.map fold_expr args)
+  | InstanceOf (a, c) -> InstanceOf (fold_expr a, c)
+  | CastInt a ->
+    (match fold_expr a with
+     | Int i -> Int i
+     | Dbl d -> Int (int_of_float d)
+     | Bool b -> Int (if b then 1 else 0)
+     | a -> CastInt a)
+  | CastDbl a ->
+    (match fold_expr a with
+     | Int i -> Dbl (float_of_int i)
+     | Dbl d -> Dbl d
+     | a -> CastDbl a)
+  | CastStr a ->
+    (match fold_expr a with
+     | Str s -> Str s
+     | Int i -> Str (string_of_int i)
+     | a -> CastStr a)
+  | CastBool a ->
+    (match fold_expr a with
+     | Bool b -> Bool b
+     | Int i -> Bool (i <> 0)
+     | a -> CastBool a)
+  | Assign (l, r) -> Assign (fold_lval l, fold_expr r)
+  | AssignOp (op, l, r) -> AssignOp (op, fold_lval l, fold_expr r)
+  | IncDec (k, l) -> IncDec (k, fold_lval l)
+  | Isset l -> Isset (fold_lval l)
+
+and fold_lval = function
+  | LVar v -> LVar v
+  | LIndex (b, i) -> LIndex (fold_lval b, Option.map fold_expr i)
+  | LProp (e, p) -> LProp (fold_expr e, p)
+
+and fold_binop op a b : expr =
+  match op, a, b with
+  | Add, Int x, Int y -> Int (x + y)
+  | Sub, Int x, Int y -> Int (x - y)
+  | Mul, Int x, Int y -> Int (x * y)
+  | Div, Int x, Int y when y <> 0 && x mod y = 0 -> Int (x / y)
+  | Mod, Int x, Int y when y <> 0 -> Int (x mod y)
+  | Add, Dbl x, Dbl y -> Dbl (x +. y)
+  | Sub, Dbl x, Dbl y -> Dbl (x -. y)
+  | Mul, Dbl x, Dbl y -> Dbl (x *. y)
+  | Div, Dbl x, Dbl y when y <> 0.0 -> Dbl (x /. y)
+  | Concat, Str x, Str y -> Str (x ^ y)
+  | Concat, Str x, Int y -> Str (x ^ string_of_int y)
+  | Concat, Int x, Str y -> Str (string_of_int x ^ y)
+  | Eq, Int x, Int y -> Bool (x = y)
+  | Neq, Int x, Int y -> Bool (x <> y)
+  | Same, Int x, Int y -> Bool (x = y)
+  | NSame, Int x, Int y -> Bool (x <> y)
+  | Lt, Int x, Int y -> Bool (x < y)
+  | Lte, Int x, Int y -> Bool (x <= y)
+  | Gt, Int x, Int y -> Bool (x > y)
+  | Gte, Int x, Int y -> Bool (x >= y)
+  | Eq, Str x, Str y -> Bool (x = y)
+  | Same, Str x, Str y -> Bool (x = y)
+  | BitAnd, Int x, Int y -> Int (x land y)
+  | BitOr, Int x, Int y -> Int (x lor y)
+  | BitXor, Int x, Int y -> Int (x lxor y)
+  | Shl, Int x, Int y when y >= 0 && y < 63 -> Int (x lsl y)
+  | Shr, Int x, Int y when y >= 0 && y < 63 -> Int (x asr y)
+  (* algebraic identities that do not change types or effects *)
+  | Add, e, Int 0 | Add, Int 0, e when is_pure_int e -> e
+  | Mul, e, Int 1 | Mul, Int 1, e when is_pure_int e -> e
+  | Concat, e, Str "" | Concat, Str "", e when is_pure_str e -> e
+  | _ -> Binop (op, a, b)
+
+(* Purity/type checks for the identities: only variables can be assumed
+   effect-free; their type must already be evident, which we cannot know
+   here, so restrict to literals (the interesting folds happened above). *)
+and is_pure_int = function Int _ -> true | _ -> false
+and is_pure_str = function Str _ -> true | _ -> false
+
+and fold_unop op a : expr =
+  match op, a with
+  | Neg, Int x -> Int (-x)
+  | Neg, Dbl x -> Dbl (-.x)
+  | Not, Bool b -> Bool (not b)
+  | Not, Int i -> Bool (i = 0)
+  | BitNot, Int x -> Int (lnot x)
+  | _ -> Unop (op, a)
+
+let rec fold_stmt (s : stmt) : stmt list =
+  match s with
+  | SExpr e -> [ SExpr (fold_expr e) ]
+  | SEcho es -> [ SEcho (List.map fold_expr es) ]
+  | SIf (c, t, f) ->
+    (match fold_expr c with
+     | Bool true -> fold_block t
+     | Bool false -> fold_block f
+     | c -> [ SIf (c, fold_block t, fold_block f) ])
+  | SWhile (c, b) ->
+    (match fold_expr c with
+     | Bool false -> []
+     | c -> [ SWhile (c, fold_block b) ])
+  | SDo (b, c) -> [ SDo (fold_block b, fold_expr c) ]
+  | SFor (i, c, u, b) ->
+    [ SFor (List.map fold_expr i, Option.map fold_expr c,
+            List.map fold_expr u, fold_block b) ]
+  | SForeach (e, k, v, b) -> [ SForeach (fold_expr e, k, v, fold_block b) ]
+  | SReturn e -> [ SReturn (Option.map fold_expr e) ]
+  | SBreak | SContinue -> [ s ]
+  | SThrow e -> [ SThrow (fold_expr e) ]
+  | STry (b, catches) ->
+    [ STry (fold_block b,
+            List.map (fun (c, v, cb) -> (c, v, fold_block cb)) catches) ]
+  | SSwitch (e, cases, d) ->
+    [ SSwitch (fold_expr e,
+               List.map (fun (v, b) -> (fold_expr v, fold_block b)) cases,
+               Option.map fold_block d) ]
+  | SUnset l -> [ SUnset (fold_lval l) ]
+
+and fold_block (b : block) : block =
+  List.concat_map fold_stmt b
+
+let fold_fun (f : fun_decl) : fun_decl =
+  { f with
+    f_body = fold_block f.f_body;
+    f_params =
+      List.map (fun p -> { p with p_default = Option.map fold_expr p.p_default })
+        f.f_params }
+
+(** Fold the whole program (the hphpc pass of Fig. 1). *)
+let fold_program (p : program) : program =
+  List.map
+    (function
+      | DFun f -> DFun (fold_fun f)
+      | DClass c ->
+        DClass { c with
+                 c_methods = List.map fold_fun c.c_methods;
+                 c_props =
+                   List.map (fun pr -> { pr with pr_default = fold_expr pr.pr_default })
+                     c.c_props }
+      | DInterface _ as d -> d)
+    p

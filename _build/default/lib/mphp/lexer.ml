@@ -1,0 +1,194 @@
+(** Hand-written lexer for MiniPHP.
+
+    Produces a token array in one pass; the parser indexes into it.  Line
+    numbers are tracked for error messages. *)
+
+type token =
+  | TInt of int
+  | TDbl of float
+  | TStr of string
+  | TTemplate of tpart list (* double-quoted string with $var interpolation *)
+  | TVar of string          (* $name, without the sigil *)
+  | TIdent of string        (* bare identifier / keyword candidate *)
+  | TPunct of string        (* operators and punctuation, longest-match *)
+  | TEof
+
+(** A piece of an interpolated string: literal text or an embedded
+    variable ("count: $n items" -> [PLit "count: "; PVar "n"; PLit " items"]). *)
+and tpart =
+  | PLit of string
+  | PVar of string
+
+type lexed = {
+  toks : token array;
+  lines : int array;        (* line number of each token *)
+  src_name : string;
+}
+
+exception Lex_error of string * int
+
+let error msg line = raise (Lex_error (msg, line))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-char punctuation, longest first. *)
+let puncts3 = [ "==="; "!=="; "<=>"; "..."; "<<="; ">>=" ]
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "->"; "=>"; "++"; "--";
+    "+="; "-="; "*="; "/="; "%="; ".="; "<<"; ">>"; "::"; "?:" ]
+
+let lex ?(src_name = "<input>") (src : string) : lexed =
+  let n = String.length src in
+  let toks = ref [] and lines = ref [] in
+  let line = ref 1 in
+  let emit t = toks := t :: !toks; lines := !line :: !lines in
+  let pos = ref 0 in
+  let peek o = if !pos + o < n then Some src.[!pos + o] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '#' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while not !closed && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true; pos := !pos + 2
+        end else incr pos
+      done;
+      if not !closed then error "unterminated block comment" !line
+    end
+    else if c = '$' then begin
+      incr pos;
+      let start = !pos in
+      if !pos < n && is_ident_start src.[!pos] then begin
+        while !pos < n && is_ident_char src.[!pos] do incr pos done;
+        emit (TVar (String.sub src start (!pos - start)))
+      end else error "expected variable name after '$'" !line
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      emit (TIdent (String.sub src start (!pos - start)))
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false)) then begin
+      let start = !pos in
+      let is_float = ref false in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      if !pos < n && src.[!pos] = '.' && (match peek 1 with Some d -> is_digit d | None -> false) then begin
+        is_float := true; incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true; incr pos;
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then emit (TDbl (float_of_string text))
+      else emit (TInt (int_of_string text))
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr pos;
+      let buf = Buffer.create 16 in
+      (* accumulated interpolation parts (double-quoted strings only) *)
+      let parts : tpart list ref = ref [] in
+      let flush_lit () =
+        if Buffer.length buf > 0 then begin
+          parts := PLit (Buffer.contents buf) :: !parts;
+          Buffer.clear buf
+        end
+      in
+      let closed = ref false in
+      while not !closed && !pos < n do
+        let d = src.[!pos] in
+        if d = quote then begin closed := true; incr pos end
+        else if d = '\\' && quote = '"' then begin
+          (match peek 1 with
+           | Some 'n' -> Buffer.add_char buf '\n'
+           | Some 't' -> Buffer.add_char buf '\t'
+           | Some 'r' -> Buffer.add_char buf '\r'
+           | Some '\\' -> Buffer.add_char buf '\\'
+           | Some '"' -> Buffer.add_char buf '"'
+           | Some '$' -> Buffer.add_char buf '$'
+           | Some '0' -> Buffer.add_char buf '\000'
+           | Some e -> Buffer.add_char buf e
+           | None -> error "dangling escape" !line);
+          pos := !pos + 2
+        end
+        else if d = '$' && quote = '"'
+             && (match peek 1 with Some c -> is_ident_start c | None -> false)
+        then begin
+          (* PHP string interpolation: "$name" embeds the variable *)
+          flush_lit ();
+          incr pos;
+          let start = !pos in
+          while !pos < n && is_ident_char src.[!pos] do incr pos done;
+          parts := PVar (String.sub src start (!pos - start)) :: !parts
+        end
+        else if d = '\\' && quote = '\'' then begin
+          (match peek 1 with
+           | Some '\'' -> Buffer.add_char buf '\''; pos := !pos + 2
+           | Some '\\' -> Buffer.add_char buf '\\'; pos := !pos + 2
+           | _ -> Buffer.add_char buf '\\'; incr pos)
+        end
+        else begin
+          if d = '\n' then incr line;
+          Buffer.add_char buf d; incr pos
+        end
+      done;
+      if not !closed then error "unterminated string literal" !line;
+      if !parts = [] then emit (TStr (Buffer.contents buf))
+      else begin
+        flush_lit ();
+        emit (TTemplate (List.rev !parts))
+      end
+    end
+    else begin
+      (* punctuation: longest match among 3-, 2-, 1-char operators *)
+      let try_match lst len =
+        if !pos + len <= n then
+          let s = String.sub src !pos len in
+          if List.mem s lst then Some s else None
+        else None
+      in
+      match try_match puncts3 3 with
+      | Some s -> emit (TPunct s); pos := !pos + 3
+      | None ->
+        (match try_match puncts2 2 with
+         | Some s -> emit (TPunct s); pos := !pos + 2
+         | None ->
+           (match c with
+            | '+' | '-' | '*' | '/' | '%' | '.' | '=' | '<' | '>' | '!'
+            | '&' | '|' | '^' | '~' | '(' | ')' | '{' | '}' | '[' | ']'
+            | ';' | ',' | '?' | ':' | '@' ->
+              emit (TPunct (String.make 1 c)); incr pos
+            | _ -> error (Printf.sprintf "unexpected character %C" c) !line))
+    end
+  done;
+  emit TEof;
+  { toks = Array.of_list (List.rev !toks);
+    lines = Array.of_list (List.rev !lines);
+    src_name }
+
+let token_to_string = function
+  | TInt i -> string_of_int i
+  | TDbl d -> string_of_float d
+  | TStr s -> Printf.sprintf "%S" s
+  | TTemplate ps ->
+    "\"" ^ String.concat ""
+      (List.map (function PLit s -> s | PVar v -> "$" ^ v) ps) ^ "\""
+  | TVar v -> "$" ^ v
+  | TIdent i -> i
+  | TPunct p -> p
+  | TEof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/region/form.ml: Hashtbl List Option Rdesc Transcfg

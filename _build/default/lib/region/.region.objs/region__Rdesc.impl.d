@@ -1,0 +1,1 @@
+lib/region/rdesc.ml: Buffer Hhbc List Printf String

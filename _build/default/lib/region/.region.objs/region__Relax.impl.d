@@ -1,0 +1,1 @@
+lib/region/relax.ml: Hashtbl Hhbc List Option Rdesc Transcfg

@@ -1,0 +1,1 @@
+lib/region/select.ml: Array Hashtbl Hhbc List Rdesc Vm

@@ -1,0 +1,1 @@
+lib/region/select.mli: Hhbc Rdesc

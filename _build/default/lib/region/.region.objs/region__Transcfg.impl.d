@@ -1,0 +1,1 @@
+lib/region/transcfg.ml: Hashtbl List Rdesc Vm

@@ -1,0 +1,14 @@
+(** Profile-guided region formation (paper §5.2.1): stitches the profiling
+    basic-block regions of a function into optimized-compilation regions,
+    following observed TransCFG arcs, with no weight-based pruning (found
+    unprofitable in the paper) and retranslation-sibling chaining. *)
+
+val default_max_region_instrs : int
+
+(** All regions covering a function's profiled blocks: DFS from the
+    uncovered block with the lowest bytecode address (the entry first),
+    bounded by [max_instrs]; repeats until every block is covered. *)
+val form_func_regions : ?max_instrs:int -> int -> Rdesc.t list
+
+(** Single-block region (live and profiling translations, Fig. 5). *)
+val single : Rdesc.block -> Rdesc.t

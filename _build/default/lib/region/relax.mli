@@ -1,0 +1,28 @@
+(** Guard relaxation (paper §5.2.2) — one of the paper's two novel
+    optimizations.
+
+    For each guarded location, combines the type constraint (Table 1: how
+    much the code actually needs to know) with the profiled type
+    distribution across retranslation siblings, and widens or drops guards
+    when profitable.  Siblings whose relaxed preconditions coincide are
+    subsumed; postconditions are widened consistently so successor guard
+    elision stays sound. *)
+
+type stats = {
+  mutable relaxed_to_uncounted : int;
+  mutable relaxed_to_generic : int;
+  mutable dropped_generic : int;
+  mutable kept : int;
+  mutable blocks_subsumed : int;
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+(** Counted-type share above which a Countness-family guard drops to
+    generic refcounting primitives (the paper's 80% example). *)
+val generic_threshold : float
+
+(** Relax a region.  The input region's blocks and guards are not mutated
+    (profiling blocks are shared with the TransCFG registry). *)
+val run : Rdesc.t -> Rdesc.t

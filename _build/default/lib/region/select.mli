@@ -1,0 +1,32 @@
+(** Tracelet selection (paper §3.1/§4.1): symbolic execution of bytecode
+    from a start pc, consulting an oracle (live VM state) for input types
+    and emitting type guards with Table-1 constraints.
+
+    A tracelet ends after an instruction that pushes a value of unknown
+    type (flushed to the VM stack and guarded by the *next* block — the
+    origin of Fig. 4's [S:0 Int]/[S:0 Dbl] preconditions), at PHP-level
+    calls, and at branches. *)
+
+type mode =
+  | MLive        (** gen-1 live translations *)
+  | MProfiling   (** profiling blocks: §4.1's finer-grained selection *)
+
+(** Global id supply for profiling blocks (TransCFG node identity). *)
+val next_block_id : int ref
+
+(** [select u ~func_id ~start ~mode ~oracle ()] walks bytecode from
+    [start], asking [oracle] for the type at each entry location it needs,
+    and returns the selected block with guards (typed, constraint-ranked),
+    postconditions and the eval-stack delta.
+    @param counter profile-counter id to attach (profiling mode)
+    @param max_instrs selection budget (default 48) *)
+val select :
+  Hhbc.Hunit.t ->
+  func_id:int ->
+  start:int ->
+  mode:mode ->
+  oracle:(Rdesc.loc -> Hhbc.Rtype.t) ->
+  ?max_instrs:int ->
+  ?counter:int ->
+  unit ->
+  Rdesc.block

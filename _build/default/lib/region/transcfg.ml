@@ -1,0 +1,72 @@
+(** The TransCFG (paper §5.2.1): the control-flow graph over the basic-block
+    regions created for a function's profiling translations.
+
+    Nodes are profiling blocks (several blocks can share a bytecode address,
+    one per observed input-type combination — retranslation siblings).
+    Block weights come from the profile counters inserted after each
+    block's guards; arc weights are recorded as profiling translations
+    transfer control to one another. *)
+
+(* registry of profiling blocks, per function *)
+let blocks_by_func : (int, Rdesc.block list ref) Hashtbl.t = Hashtbl.create 64
+
+(* all registered blocks by id *)
+let blocks_by_id : (int, Rdesc.block) Hashtbl.t = Hashtbl.create 256
+
+(* observed control transfers between profiling blocks *)
+let arcs : (int * int, int ref) Hashtbl.t = Hashtbl.create 256
+
+let reset () =
+  Hashtbl.reset blocks_by_func;
+  Hashtbl.reset blocks_by_id;
+  Hashtbl.reset arcs
+
+let register_block (b : Rdesc.block) =
+  Hashtbl.replace blocks_by_id b.b_id b;
+  let lst =
+    match Hashtbl.find_opt blocks_by_func b.b_func with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace blocks_by_func b.b_func l;
+      l
+  in
+  lst := b :: !lst
+
+let record_arc ~(src : int) ~(dst : int) =
+  match Hashtbl.find_opt arcs (src, dst) with
+  | Some r -> incr r
+  | None -> Hashtbl.replace arcs (src, dst) (ref 1)
+
+let block (id : int) : Rdesc.block = Hashtbl.find blocks_by_id id
+
+let block_weight (b : Rdesc.block) : int =
+  match b.b_counter with
+  | Some c -> Vm.Prof.read_counter c
+  | None -> 0
+
+type t = {
+  nodes : Rdesc.block list;            (* this function's profiling blocks *)
+  t_arcs : ((int * int) * int) list;   (* (src, dst), weight *)
+}
+
+let build (func_id : int) : t =
+  let nodes =
+    match Hashtbl.find_opt blocks_by_func func_id with
+    | Some l -> List.rev !l
+    | None -> []
+  in
+  let ids = List.fold_left (fun s b -> Hashtbl.replace s b.Rdesc.b_id (); s)
+      (Hashtbl.create 16) nodes in
+  let t_arcs =
+    Hashtbl.fold
+      (fun (s, d) w acc ->
+         if Hashtbl.mem ids s && Hashtbl.mem ids d then ((s, d), !w) :: acc
+         else acc)
+      arcs []
+  in
+  { nodes; t_arcs }
+
+let succs (cfg : t) (id : int) : (int * int) list =
+  List.filter_map (fun ((s, d), w) -> if s = id then Some (d, w) else None)
+    cfg.t_arcs

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Buffer Float Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/runtime/varray.ml: Array Hashtbl Heap List Value

@@ -1,0 +1,1 @@
+lib/runtime/vclass.ml: Array Hashtbl Heap List Option Value

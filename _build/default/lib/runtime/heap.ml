@@ -1,0 +1,168 @@
+(** Reference-counted heap with allocation audit.
+
+    All counted values (strings, arrays, objects) are allocated here.  The
+    audit table records every live allocation so tests can assert that a
+    program neither leaks nor double-frees — this is the safety net under
+    the JIT's reference-counting elimination pass.
+
+    Object destructors must run at the exact program point where the last
+    reference dies (observable refcounting, paper §1).  Destructors are
+    MiniPHP code, so freeing an object calls back into the interpreter via
+    {!destructor_hook}, which the VM installs at startup. *)
+
+open Value
+
+type stats = {
+  mutable allocated : int;        (* total allocations since reset *)
+  mutable freed : int;            (* total frees since reset *)
+  mutable live : int;             (* currently live counted objects *)
+  mutable incref_ops : int;       (* dynamic count of IncRef operations *)
+  mutable decref_ops : int;       (* dynamic count of DecRef operations *)
+}
+
+let stats = { allocated = 0; freed = 0; live = 0; incref_ops = 0; decref_ops = 0 }
+
+(* Audit table: allocation id -> short description.  Populated only when
+   [audit_enabled]; the differential test suite turns it on. *)
+let audit_enabled = ref true
+let audit : (int, string) Hashtbl.t = Hashtbl.create 256
+
+let next_id = ref 0
+
+(** Installed by the VM: runs a MiniPHP [__destruct] method. *)
+let destructor_hook : (obj counted -> unit) ref =
+  ref (fun _ -> ())
+
+(* Class-table query installed by Vclass to avoid a module cycle: returns
+   whether the class (or an ancestor) defines __destruct. *)
+let has_destructor_hook : (int -> bool) ref = ref (fun _ -> false)
+
+let reset () =
+  stats.allocated <- 0; stats.freed <- 0; stats.live <- 0;
+  stats.incref_ops <- 0; stats.decref_ops <- 0;
+  Hashtbl.reset audit;
+  next_id := 0
+
+let alloc_raw (kind : string) (data : 'a) : 'a counted =
+  incr next_id;
+  let id = !next_id in
+  stats.allocated <- stats.allocated + 1;
+  stats.live <- stats.live + 1;
+  if !audit_enabled then Hashtbl.replace audit id kind;
+  { rc = 1; id; data }
+
+let free_raw (node : 'a counted) (kind : string) =
+  if !audit_enabled then begin
+    if not (Hashtbl.mem audit node.id) then
+      failwith (Printf.sprintf "heap audit: double free of %s#%d" kind node.id);
+    Hashtbl.remove audit node.id
+  end;
+  stats.freed <- stats.freed + 1;
+  stats.live <- stats.live - 1;
+  (* Poison the refcount so a use-after-free trips the audit. *)
+  node.rc <- min_int
+
+(** Leak check: returns descriptions of live allocations. *)
+let live_allocations () =
+  Hashtbl.fold (fun id kind acc -> Printf.sprintf "%s#%d" kind id :: acc) audit []
+
+let new_str (s : string) : value = VStr (alloc_raw "str" s)
+
+(** Static (uncounted) string: not tracked by the audit, never freed. *)
+let static_str (s : string) : value =
+  incr next_id;
+  VStr { rc = static_rc; id = !next_id; data = s }
+
+let empty_arr_data () : arr =
+  { entries = [||]; count = 0; index = Hashtbl.create 8; next_ikey = 0;
+    packed = true }
+
+let new_arr () : value = VArr (alloc_raw "arr" (empty_arr_data ()))
+
+let new_arr_node () : arr counted = alloc_raw "arr" (empty_arr_data ())
+
+let new_obj (cls : int) (nprops : int) : value =
+  VObj (alloc_raw "obj" { cls; props = Array.make nprops VNull })
+
+(** IncRef: no-op on uncounted values.  Counted in [stats] so benchmarks can
+    report refcounting-operation rates (the RCE pass reduces these). *)
+(* temporary debugging: trace rc ops on a specific allocation id *)
+let trace_id = ref (-1)
+let trace name id rc =
+  if id = !trace_id then
+    Printf.eprintf "RC %s #%d rc_before=%d\n%s\n" name id rc
+      (Printexc.raw_backtrace_to_string (Printexc.get_callstack 12))
+
+let incref (v : value) =
+  match v with
+  | VStr n -> if n.rc <> static_rc then begin n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1 end
+  | VArr n -> n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1
+  | VObj n -> trace "inc" n.id n.rc; n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1
+  | _ -> ()
+
+let rec decref (v : value) =
+  match v with
+  | VStr n ->
+    if n.rc <> static_rc then begin
+      stats.decref_ops <- stats.decref_ops + 1;
+      if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead str#%d" n.id);
+      n.rc <- n.rc - 1;
+      if n.rc = 0 then free_raw n "str"
+    end
+  | VArr n ->
+    stats.decref_ops <- stats.decref_ops + 1;
+    if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead arr#%d" n.id);
+    n.rc <- n.rc - 1;
+    if n.rc = 0 then begin
+      (* Release elements before freeing the container. *)
+      let d = n.data in
+      for i = 0 to d.count - 1 do
+        decref (snd d.entries.(i))
+      done;
+      free_raw n "arr"
+    end
+  | VObj n ->
+    trace "dec" n.id n.rc;
+    stats.decref_ops <- stats.decref_ops + 1;
+    if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead obj#%d" n.id);
+    n.rc <- n.rc - 1;
+    if n.rc = 0 then begin
+      (* Run the destructor at the exact point the last reference dies.
+         The destructor sees a live object (rc temporarily resurrected to 1
+         so `$this` inside __destruct does not re-enter destruction). *)
+      if !has_destructor_hook n.data.cls then begin
+        n.rc <- 1;
+        !destructor_hook n;
+        n.rc <- n.rc - 1;
+        if n.rc > 0 then () (* destructor leaked a reference on purpose *)
+        else free_obj n
+      end else
+        free_obj n
+    end
+  | _ -> ()
+
+and free_obj n =
+  Array.iter decref n.data.props;
+  free_raw n "obj"
+
+(** DecRef for values statically known to have refcount > 1 (emitted by the
+    JIT's refcount specialization); checked in debug. *)
+let decref_nz (v : value) =
+  match v with
+  | VStr n -> if n.rc <> static_rc then begin
+      stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+      if n.rc <= 0 then failwith "decref_nz reached zero"
+    end
+  | VArr n ->
+    stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+    if n.rc <= 0 then failwith "decref_nz reached zero"
+  | VObj n ->
+    stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+    if n.rc <= 0 then failwith "decref_nz reached zero"
+  | _ -> ()
+
+let refcount = function
+  | VStr n -> n.rc
+  | VArr n -> n.rc
+  | VObj n -> n.rc
+  | _ -> 0

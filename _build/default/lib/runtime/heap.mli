@@ -1,0 +1,70 @@
+(** Reference-counted heap with allocation audit.
+
+    All counted values (strings, arrays, objects) are allocated here.  The
+    audit table records every live allocation so tests can assert that a
+    program neither leaks nor double-frees — this is the safety net under
+    the JIT's reference-counting elimination pass.
+
+    Object destructors run at the exact program point where the last
+    reference dies (observable refcounting, paper §1); they are MiniPHP
+    code, so freeing an object calls back into the interpreter via
+    {!destructor_hook}. *)
+
+open Value
+
+type stats = {
+  mutable allocated : int;
+  mutable freed : int;
+  mutable live : int;
+  mutable incref_ops : int;   (** dynamic IncRef count (reduced by RCE) *)
+  mutable decref_ops : int;
+}
+
+val stats : stats
+
+(** Audit toggle and table (allocation id → kind). *)
+val audit_enabled : bool ref
+val audit : (int, string) Hashtbl.t
+
+(** Runs a MiniPHP [__destruct]; installed by {!Vm.Loader}. *)
+val destructor_hook : (obj counted -> unit) ref
+
+(** Class-table query (does this class define a destructor?); installed by
+    {!Vclass} to avoid a module cycle. *)
+val has_destructor_hook : (int -> bool) ref
+
+(** Reset all heap state (audit, counters, allocation ids). *)
+val reset : unit -> unit
+
+(** Low-level allocation (used by {!Varray.cow}); audited. *)
+val alloc_raw : string -> 'a -> 'a counted
+
+(** Descriptions of currently live (leaked, if at program end) objects. *)
+val live_allocations : unit -> string list
+
+val new_str : string -> value
+
+(** Uncounted string (bytecode constant pool): never freed, not audited. *)
+val static_str : string -> value
+
+val empty_arr_data : unit -> arr
+val new_arr : unit -> value
+val new_arr_node : unit -> arr counted
+val new_obj : int -> int -> value
+
+(** No-op on uncounted values. *)
+val incref : value -> unit
+
+(** Releases one reference; frees (and runs destructors / releases
+    elements) at zero.  The audit fails loudly on over-release. *)
+val decref : value -> unit
+
+(** DecRef for values statically known to have refcount > 1 (the JIT's
+    refcount specialization); checked at runtime. *)
+val decref_nz : value -> unit
+
+val refcount : value -> int
+
+(** Debug facility: print a backtrace on every rc operation touching the
+    allocation with this id (-1 disables). *)
+val trace_id : int ref

@@ -1,0 +1,30 @@
+(** The cycle ledger: the shared "performance" currency of the whole system.
+
+    The paper's evaluation measures CPU time on production hardware; our
+    substrate is simulated, so both the bytecode interpreter and the SimCPU
+    execution engine charge simulated cycles here.  Every figure's
+    "performance" is requests (or work) per simulated cycle. *)
+
+let cycles : int ref = ref 0
+
+(* Split accounting, for the startup experiment (§6.2: time spent in live vs
+   optimized code) and the mode comparison. *)
+let interp_cycles = ref 0
+let jit_cycles = ref 0
+
+let charge n = cycles := !cycles + n
+
+let charge_interp n =
+  cycles := !cycles + n;
+  interp_cycles := !interp_cycles + n
+
+let charge_jit n =
+  cycles := !cycles + n;
+  jit_cycles := !jit_cycles + n
+
+let reset () =
+  cycles := 0;
+  interp_cycles := 0;
+  jit_cycles := 0
+
+let read () = !cycles

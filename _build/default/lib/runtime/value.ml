@@ -1,0 +1,236 @@
+(** Dynamic values for MiniPHP.
+
+    This mirrors HHVM's TypedValue: a value is a type tag plus a data word.
+    Strings, arrays and objects live on a reference-counted heap; everything
+    else is immediate.  Static strings (from the bytecode constant pool) are
+    uncounted, mirroring HHVM's uncounted values: their refcount is the
+    sentinel {!static_rc} and Inc/DecRef are no-ops on them. *)
+
+(** Refcount sentinel for uncounted (static) heap values. *)
+let static_rc = -1
+
+(** Array keys: PHP arrays are ordered dictionaries keyed by int or string. *)
+type akey =
+  | KInt of int
+  | KStr of string
+
+(** A reference-counted heap node.  [id] is a unique allocation id used by
+    the heap audit (leak / double-free detection) and for debugging. *)
+type 'a counted = {
+  mutable rc : int;
+  id : int;
+  mutable data : 'a;
+}
+
+type value =
+  | VUninit                (** an unset local; reading it raises a notice *)
+  | VNull
+  | VBool of bool
+  | VInt of int
+  | VDbl of float
+  | VStr of string counted
+  | VArr of arr counted
+  | VObj of obj counted
+
+(** Ordered dictionary: insertion-ordered entries plus a hash index.
+    [next_ikey] implements PHP's implicit integer-key assignment on append. *)
+and arr = {
+  mutable entries : (akey * value) array;   (* insertion order; may have slack *)
+  mutable count : int;                      (* live prefix length of entries *)
+  index : (akey, int) Hashtbl.t;            (* key -> position in entries *)
+  mutable next_ikey : int;
+  mutable packed : bool;  (** vector-like: keys are exactly 0..count-1
+                              (HHVM's Arr::Packed kind, specialized by the JIT) *)
+}
+
+(** Objects have reference semantics.  Properties are stored in a flat slot
+    array whose layout is decided by the class (see {!Vclass}). *)
+and obj = {
+  cls : int;                                (* class id in the class table *)
+  props : value array;
+}
+
+(** Runtime type tags, numbered exactly as the JIT encodes them in machine
+    words ({!Word} in simcpu).  Keep in sync with [tag_of_value]. *)
+type tag =
+  | TUninit
+  | TNull
+  | TBool
+  | TInt
+  | TDbl
+  | TStr
+  | TArr
+  | TObj
+
+let tag_code = function
+  | TUninit -> 0 | TNull -> 1 | TBool -> 2 | TInt -> 3
+  | TDbl -> 4 | TStr -> 5 | TArr -> 6 | TObj -> 7
+
+let tag_of_code = function
+  | 0 -> TUninit | 1 -> TNull | 2 -> TBool | 3 -> TInt
+  | 4 -> TDbl | 5 -> TStr | 6 -> TArr | 7 -> TObj
+  | n -> invalid_arg (Printf.sprintf "Value.tag_of_code %d" n)
+
+let tag_of_value = function
+  | VUninit -> TUninit
+  | VNull -> TNull
+  | VBool _ -> TBool
+  | VInt _ -> TInt
+  | VDbl _ -> TDbl
+  | VStr _ -> TStr
+  | VArr _ -> TArr
+  | VObj _ -> TObj
+
+let tag_name = function
+  | TUninit -> "Uninit" | TNull -> "Null" | TBool -> "Bool" | TInt -> "Int"
+  | TDbl -> "Dbl" | TStr -> "Str" | TArr -> "Arr" | TObj -> "Obj"
+
+(** Whether values of this tag are reference counted. *)
+let tag_counted = function
+  | TStr | TArr | TObj -> true
+  | TUninit | TNull | TBool | TInt | TDbl -> false
+
+let is_counted = function
+  | VStr s -> s.rc <> static_rc
+  | VArr _ | VObj _ -> true
+  | _ -> false
+
+(** PHP truthiness. *)
+let truthy = function
+  | VUninit | VNull -> false
+  | VBool b -> b
+  | VInt i -> i <> 0
+  | VDbl d -> d <> 0.0
+  | VStr s -> s.data <> "" && s.data <> "0"
+  | VArr a -> a.data.count > 0
+  | VObj _ -> true
+
+exception Php_fatal of string
+
+let fatal fmt = Printf.ksprintf (fun m -> raise (Php_fatal m)) fmt
+
+(** Numeric coercion used by arithmetic on mixed int/double operands.
+    MiniPHP deliberately restricts PHP's type juggling: arithmetic is only
+    defined on numbers (int, double, bool-as-int, null-as-0); anything else
+    is a fatal error, matching Hack's stricter runtime behaviour. *)
+let to_num = function
+  | VInt i -> `I i
+  | VDbl d -> `D d
+  | VBool b -> `I (if b then 1 else 0)
+  | VNull -> `I 0
+  | v -> fatal "unsupported operand type %s for arithmetic" (tag_name (tag_of_value v))
+
+let to_int_val = function
+  | VInt i -> i
+  | VDbl d -> int_of_float d
+  | VBool b -> if b then 1 else 0
+  | VNull -> 0
+  | VStr s -> (try int_of_string (String.trim s.data) with _ -> 0)
+  | v -> fatal "cannot convert %s to int" (tag_name (tag_of_value v))
+
+let to_dbl_val = function
+  | VInt i -> float_of_int i
+  | VDbl d -> d
+  | VBool b -> if b then 1.0 else 0.0
+  | VNull -> 0.0
+  | VStr s -> (try float_of_string (String.trim s.data) with _ -> 0.0)
+  | v -> fatal "cannot convert %s to double" (tag_name (tag_of_value v))
+
+let rec to_string_val v =
+  match v with
+  | VUninit | VNull -> ""
+  | VBool b -> if b then "1" else ""
+  | VInt i -> string_of_int i
+  | VDbl d ->
+    if Float.is_integer d && Float.abs d < 1e15 then
+      (* PHP prints integral doubles without a fractional part *)
+      Printf.sprintf "%.0f" d
+    else Printf.sprintf "%.12g" d
+  | VStr s -> s.data
+  | VArr _ -> "Array"
+  | VObj _ -> fatal "cannot convert Obj to string"
+
+(** Structural string rendering for debugging / test output (like var_export). *)
+and debug_string v =
+  match v with
+  | VUninit -> "uninit"
+  | VNull -> "null"
+  | VBool b -> string_of_bool b
+  | VInt i -> string_of_int i
+  | VDbl d -> to_string_val (VDbl d)
+  | VStr s -> "\"" ^ s.data ^ "\""
+  | VArr a ->
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf '[';
+    for i = 0 to a.data.count - 1 do
+      if i > 0 then Buffer.add_string buf ", ";
+      let k, v = a.data.entries.(i) in
+      (match k with
+       | KInt ik -> Buffer.add_string buf (string_of_int ik)
+       | KStr sk -> Buffer.add_string buf ("\"" ^ sk ^ "\""));
+      Buffer.add_string buf " => ";
+      Buffer.add_string buf (debug_string v)
+    done;
+    Buffer.add_char buf ']';
+    Buffer.contents buf
+  | VObj o -> Printf.sprintf "object#%d(cls=%d)" o.id o.data.cls
+
+(** Loose equality ([==]).  Numeric values compare numerically across
+    int/double; strings compare as strings; arrays compare structurally;
+    objects by identity.  We do not implement PHP's string-to-number
+    juggling for [==] — strings only equal strings. *)
+let rec loose_eq a b =
+  match a, b with
+  | (VNull | VUninit), (VNull | VUninit) -> true
+  | VBool x, VBool y -> x = y
+  | VBool _, _ | _, VBool _ -> truthy a = truthy b
+  | VInt x, VInt y -> x = y
+  | VInt x, VDbl y | VDbl y, VInt x -> float_of_int x = y
+  | VDbl x, VDbl y -> x = y
+  | VStr x, VStr y -> x.data = y.data
+  | VArr x, VArr y -> arr_eq x.data y.data
+  | VObj x, VObj y -> x.id = y.id
+  | _ -> false
+
+and arr_eq x y =
+  x.count = y.count
+  && begin
+    let ok = ref true in
+    for i = 0 to x.count - 1 do
+      let kx, vx = x.entries.(i) and ky, vy = y.entries.(i) in
+      if kx <> ky || not (loose_eq vx vy) then ok := false
+    done;
+    !ok
+  end
+
+(** Strict equality ([===]): same type and same value (objects: identity). *)
+let rec strict_eq a b =
+  match a, b with
+  | VNull, VNull -> true
+  | VBool x, VBool y -> x = y
+  | VInt x, VInt y -> x = y
+  | VDbl x, VDbl y -> x = y
+  | VStr x, VStr y -> x.data = y.data
+  | VObj x, VObj y -> x.id = y.id
+  | VArr x, VArr y ->
+    x.data.count = y.data.count
+    && begin
+      let ok = ref true in
+      for i = 0 to x.data.count - 1 do
+        let kx, vx = x.data.entries.(i) and ky, vy = y.data.entries.(i) in
+        if kx <> ky || not (strict_eq vx vy) then ok := false
+      done;
+      !ok
+    end
+  | _ -> false
+
+(** Relational comparison; defined on numbers and strings. *)
+let compare_vals a b =
+  match a, b with
+  | VInt x, VInt y -> compare x y
+  | VStr x, VStr y -> compare x.data y.data
+  | (VInt _ | VDbl _ | VBool _ | VNull), (VInt _ | VDbl _ | VBool _ | VNull) ->
+    compare (to_dbl_val a) (to_dbl_val b)
+  | _ ->
+    fatal "unsupported comparison between %s and %s"
+      (tag_name (tag_of_value a)) (tag_name (tag_of_value b))

@@ -1,0 +1,156 @@
+(** PHP array semantics: ordered dictionaries with value semantics
+    implemented by copy-on-write (paper §1, §5.3.2).
+
+    Structural operations live here; the COW protocol is:
+    a mutation through a slot holding an array whose refcount is > 1 must
+    first clone the array (incref'ing every element), decref the original,
+    and store the clone back into the slot.  [set]/[append] return the node
+    to store back so interpreter and JIT helpers share one implementation.
+
+    Deletion ([unset]) uses tombstones: the entry is marked dead and the
+    index entry removed; [count] tracks live entries separately. *)
+
+open Value
+
+let grow (d : arr) =
+  let cap = Array.length d.entries in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ne = Array.make ncap (KInt 0, VNull) in
+  Array.blit d.entries 0 ne 0 cap;
+  d.entries <- ne
+
+(** Number of live entries. *)
+let length (d : arr) = d.count
+
+let find_opt (d : arr) (k : akey) : value option =
+  match Hashtbl.find_opt d.index k with
+  | None -> None
+  | Some pos -> Some (snd d.entries.(pos))
+
+(** Raw set: no refcounting; overwrites in place or appends a new entry.
+    Returns the value previously bound to [k] (to decref), if any. *)
+let set_raw (d : arr) (k : akey) (v : value) : value option =
+  match Hashtbl.find_opt d.index k with
+  | Some pos ->
+    let old = snd d.entries.(pos) in
+    d.entries.(pos) <- (k, v);
+    Some old
+  | None ->
+    if d.count = Array.length d.entries then grow d;
+    (* packedness is preserved only by appending the next sequential key *)
+    (match k with
+     | KInt i when i = d.count -> ()
+     | _ -> d.packed <- false);
+    d.entries.(d.count) <- (k, v);
+    Hashtbl.replace d.index k d.count;
+    d.count <- d.count + 1;
+    (match k with
+     | KInt i when i >= d.next_ikey -> d.next_ikey <- i + 1
+     | _ -> ());
+    None
+
+(** Raw append with implicit integer key.  Returns the key used. *)
+let append_raw (d : arr) (v : value) : akey =
+  let k = KInt d.next_ikey in
+  ignore (set_raw d k v);
+  k
+
+(** Shallow structural clone.  Elements are incref'd: the clone owns a
+    reference to each element, as in HHVM's array COW copy. *)
+let clone_data (d : arr) : arr =
+  let entries = if d.count = 0 then [||] else Array.sub d.entries 0 d.count in
+  let index = Hashtbl.copy d.index in
+  for i = 0 to d.count - 1 do
+    Heap.incref (snd entries.(i))
+  done;
+  { entries; count = d.count; index; next_ikey = d.next_ikey; packed = d.packed }
+
+(** If [node] is shared (rc > 1), produce an exclusive copy; the caller's
+    reference moves to the copy (original is decref'd without releasing
+    elements twice because the clone incref'd them). *)
+let cow (node : arr counted) : arr counted =
+  if node.rc = 1 then node
+  else begin
+    let copy = Heap.alloc_raw "arr" (clone_data node.data) in
+    (* drop caller's reference to the original *)
+    node.rc <- node.rc - 1;
+    Heap.stats.decref_ops <- Heap.stats.decref_ops + 1;
+    copy
+  end
+
+(** COW set through an owning slot.  Consumes the caller's reference to
+    [node], returns the node the slot must now hold.  Takes ownership of one
+    reference to [v] (caller increfs before if needed). *)
+let set (node : arr counted) (k : akey) (v : value) : arr counted =
+  let node = cow node in
+  (match set_raw node.data k v with
+   | Some old -> Heap.decref old
+   | None -> ());
+  node
+
+(** COW append. *)
+let append (node : arr counted) (v : value) : arr counted =
+  let node = cow node in
+  ignore (append_raw node.data v);
+  node
+
+(** COW unset: removes the binding for [k] if present.  Compacts lazily by
+    rebuilding when more than half the entries are dead. *)
+let unset (node : arr counted) (k : akey) : arr counted =
+  match Hashtbl.find_opt node.data.index k with
+  | None -> node
+  | Some _ ->
+    let node = cow node in
+    let d = node.data in
+    (match Hashtbl.find_opt d.index k with
+     | None -> node
+     | Some pos ->
+       Heap.decref (snd d.entries.(pos));
+       Hashtbl.remove d.index k;
+       (* compact: shift the suffix left *)
+       for i = pos to d.count - 2 do
+         d.entries.(i) <- d.entries.(i + 1);
+         Hashtbl.replace d.index (fst d.entries.(i)) i
+       done;
+       d.count <- d.count - 1;
+       if d.count = 0 then d.packed <- true
+       else if pos < d.count then d.packed <- false;
+       node)
+
+(** Lookup with PHP notice semantics: missing key yields Null. *)
+let get (d : arr) (k : akey) : value =
+  match find_opt d k with
+  | Some v -> v
+  | None -> VNull
+
+let key_of_value (v : value) : akey =
+  match v with
+  | VInt i -> KInt i
+  | VStr s -> KStr s.data
+  | VBool b -> KInt (if b then 1 else 0)
+  | VNull -> KStr ""
+  | VDbl d -> KInt (int_of_float d)
+  | _ -> Value.fatal "illegal array key type %s" (tag_name (tag_of_value v))
+
+let iter (f : akey -> value -> unit) (d : arr) =
+  for i = 0 to d.count - 1 do
+    let k, v = d.entries.(i) in
+    f k v
+  done
+
+let keys (d : arr) : akey list =
+  List.init d.count (fun i -> fst d.entries.(i))
+
+let values (d : arr) : value list =
+  List.init d.count (fun i -> snd d.entries.(i))
+
+(** Build a counted array node from a list (each element incref'd). *)
+let of_list (kvs : (akey * value) list) : arr counted =
+  let node = Heap.new_arr_node () in
+  List.iter (fun (k, v) -> Heap.incref v; ignore (set_raw node.data k v)) kvs;
+  node
+
+let of_values (vs : value list) : arr counted =
+  let node = Heap.new_arr_node () in
+  List.iter (fun v -> Heap.incref v; ignore (append_raw node.data v)) vs;
+  node

@@ -1,0 +1,1 @@
+lib/server/perflab.ml: Core Hashtbl Hhbbc Hhbc List Option Runtime Vm Workloads

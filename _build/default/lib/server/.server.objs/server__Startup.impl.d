@@ -1,0 +1,1 @@
+lib/server/startup.ml: Array Core Hhbbc List Perflab Runtime Vm Workloads

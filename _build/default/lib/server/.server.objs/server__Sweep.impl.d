@@ -1,0 +1,1 @@
+lib/server/sweep.ml: Core List Perflab

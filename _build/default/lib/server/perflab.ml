@@ -1,0 +1,143 @@
+(** Perflab (paper §6): deterministic A/B performance measurement.
+
+    The real Perflab replays thousands of requests from dozens of production
+    endpoints on 15 physical servers and reports weighted-average CPU time
+    per request with 99% confidence intervals.  Our substrate is simulated,
+    so "CPU time" is simulated cycles from the shared ledger; the weighted
+    average uses the endpoint mix weights; confidence intervals come from
+    repeating the measurement phase over independent request sets. *)
+
+open Workloads.Endpoints
+
+type config = {
+  c_opts : Core.Jit_options.t;
+  c_warmup : int;           (* warmup requests per endpoint *)
+  c_measure : int;          (* measured requests per endpoint, per set *)
+  c_sets : int;             (* independent measurement sets (CI) *)
+}
+
+let default_config () : config = {
+  c_opts = Core.Jit_options.default ();
+  c_warmup = 30;
+  c_measure = 30;
+  c_sets = 3;
+}
+
+type endpoint_result = {
+  er_name : string;
+  er_weight : int;
+  er_cycles_per_req : float;
+}
+
+type result = {
+  r_weighted : float;            (* weighted avg cycles per request *)
+  r_ci99 : float;                (* +- 99% confidence interval *)
+  r_endpoints : endpoint_result list;
+  r_code_bytes : int;
+  r_output_hash : int;           (* sanity: outputs must match across modes *)
+  r_engine : Core.Engine.t;
+}
+
+let call_endpoint (u : Hhbc.Hunit.t) (ep : endpoint) (arg : int) : string =
+  let r, out =
+    Vm.Output.capture
+      (fun () ->
+         Vm.Interp.call_by_name u ep.ep_entry [ Runtime.Value.VInt arg ])
+  in
+  let s = Runtime.Value.to_string_val r in
+  Runtime.Heap.decref r;
+  out ^ s
+
+(** Run the full lifecycle for one configuration and measure. *)
+let measure (cfg : config) : result =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let eng = Core.Engine.install ~opts:cfg.c_opts u in
+  (* ---- warmup: replay the weighted mix (profiles, live translations) ---- *)
+  for round = 0 to cfg.c_warmup - 1 do
+    List.iter
+      (fun ep ->
+         (* hotter endpoints are warmed proportionally more *)
+         let reps = max 1 (ep.ep_weight / 10) in
+         for k = 0 to reps - 1 do
+           ignore (call_endpoint u ep (round * 3 + k))
+         done)
+      endpoints
+  done;
+  (* ---- whole-program reoptimization (Region mode only) ---- *)
+  if cfg.c_opts.mode = Core.Jit_options.Region then
+    ignore (Core.Engine.retranslate_all eng);
+  (* ---- measurement sets ---- *)
+  let out_hash = ref 0 in
+  let set_results =
+    List.init cfg.c_sets (fun set ->
+        (* requests are interleaved across endpoints, as production traffic
+           is: consecutive requests run different code, which is what makes
+           i-cache/I-TLB locality (layout, splitting, sorting, huge pages)
+           matter at all *)
+        let acc = Hashtbl.create 16 in
+        for i = 0 to cfg.c_measure - 1 do
+          List.iter
+            (fun ep ->
+               let c0 = Runtime.Ledger.read () in
+               let out = call_endpoint u ep (1000 + set * 131 + i) in
+               out_hash := !out_hash lxor (Hashtbl.hash (ep.ep_name, i land 7, out));
+               let c = Runtime.Ledger.read () - c0 in
+               Hashtbl.replace acc ep.ep_name
+                 (c + Option.value (Hashtbl.find_opt acc ep.ep_name) ~default:0))
+            endpoints
+        done;
+        let per_ep =
+          List.map
+            (fun ep ->
+               let cycles = Option.value (Hashtbl.find_opt acc ep.ep_name) ~default:0 in
+               (ep, float_of_int cycles /. float_of_int cfg.c_measure))
+            endpoints
+        in
+        let wsum = List.fold_left (fun a (ep, _) -> a + ep.ep_weight) 0 per_ep in
+        let weighted =
+          List.fold_left
+            (fun a (ep, c) -> a +. c *. float_of_int ep.ep_weight)
+            0.0 per_ep
+          /. float_of_int wsum
+        in
+        (weighted, per_ep))
+  in
+  let weights = List.map fst set_results in
+  let n = float_of_int (List.length weights) in
+  let mean = List.fold_left ( +. ) 0.0 weights /. n in
+  let var =
+    List.fold_left (fun a w -> a +. (w -. mean) ** 2.0) 0.0 weights /. n
+  in
+  let ci = 2.58 *. sqrt var /. sqrt n in
+  let per_ep_avg =
+    List.map
+      (fun ep ->
+         let cs =
+           List.filter_map
+             (fun (_, l) ->
+                Option.map snd
+                  (List.find_opt (fun (e, _) -> e.ep_name = ep.ep_name) l))
+             set_results
+         in
+         { er_name = ep.ep_name;
+           er_weight = ep.ep_weight;
+           er_cycles_per_req =
+             List.fold_left ( +. ) 0.0 cs /. float_of_int (List.length cs) })
+      endpoints
+  in
+  { r_weighted = mean;
+    r_ci99 = ci;
+    r_endpoints = per_ep_avg;
+    r_code_bytes = Core.Engine.code_bytes eng;
+    r_output_hash = !out_hash;
+    r_engine = eng }
+
+(** Measure with a given mode and option tweak (the A/B harness). *)
+let run ?(tweak = fun (_ : Core.Jit_options.t) -> ())
+    (mode : Core.Jit_options.mode) : result =
+  let cfg = default_config () in
+  cfg.c_opts.mode <- mode;
+  tweak cfg.c_opts;
+  measure cfg

@@ -1,0 +1,1 @@
+lib/simcpu/codecache.ml: List

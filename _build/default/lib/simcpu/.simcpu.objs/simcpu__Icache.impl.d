@@ -1,0 +1,1 @@
+lib/simcpu/icache.ml: Array Float

@@ -1,0 +1,1 @@
+lib/simcpu/itlb.ml: Array

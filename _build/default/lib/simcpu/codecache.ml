@@ -1,0 +1,77 @@
+(** The code cache: bump allocators for the translation sections.
+
+    Mirrors HHVM's section scheme:
+    - [Main]  ("a")      — optimized hot code (mapped on huge pages when
+                            the optimization is enabled);
+    - [Cold]  ("acold")  — exit stubs and cold paths of optimized code;
+    - [Prof]  ("aprof")  — profiling translations (reclaimable);
+    - [Live]  ("alive")  — live (tracelet) translations.
+
+    A global byte budget caps JIT output (the Fig. 11 experiment); when it
+    is exhausted, no further translations are emitted and execution falls
+    back to the interpreter (§6.4). *)
+
+type section = Main | Cold | Prof | Live
+
+let section_name = function
+  | Main -> "a" | Cold -> "acold" | Prof -> "aprof" | Live -> "alive"
+
+(* Disjoint address ranges per section. *)
+let base_of = function
+  | Main -> 0x1_000_000
+  | Cold -> 0x10_000_000
+  | Prof -> 0x20_000_000
+  | Live -> 0x30_000_000
+
+type t = {
+  mutable cursors : (section * int ref) list;
+  mutable budget : int option;       (* cap on counted bytes; None = unlimited *)
+  mutable used_counted : int;        (* bytes counted against the budget *)
+  mutable used_total : int;
+}
+
+let create ?budget () : t =
+  { cursors = [ (Main, ref (base_of Main)); (Cold, ref (base_of Cold));
+                (Prof, ref (base_of Prof)); (Live, ref (base_of Live)) ];
+    budget; used_counted = 0; used_total = 0 }
+
+let cursor (t : t) (s : section) : int ref = List.assoc s t.cursors
+
+(** Profiling code is reclaimed after retranslate-all, so only Main, Cold
+    and Live count against the deployment budget. *)
+let counted_section = function
+  | Main | Cold | Live -> true
+  | Prof -> false
+
+(** Allocate [bytes] in section [s]; returns the base address, or None if
+    the budget is exhausted. *)
+let alloc (t : t) (s : section) (bytes : int) : int option =
+  let over_budget =
+    counted_section s
+    && (match t.budget with
+        | Some b -> t.used_counted + bytes > b
+        | None -> false)
+  in
+  if over_budget then None
+  else begin
+    let c = cursor t s in
+    let addr = !c in
+    c := !c + bytes;
+    t.used_total <- t.used_total + bytes;
+    if counted_section s then t.used_counted <- t.used_counted + bytes;
+    Some addr
+  end
+
+(** Reset the Main+Cold cursors (used when relocating optimized code during
+    retranslate-all / function sorting).  The byte accounting of previously
+    allocated main/cold code is returned to the pool first. *)
+let reset_optimized (t : t) ~(reclaim_bytes : int) =
+  cursor t Main := base_of Main;
+  cursor t Cold := base_of Cold;
+  t.used_counted <- max 0 (t.used_counted - reclaim_bytes);
+  t.used_total <- max 0 (t.used_total - reclaim_bytes)
+
+let main_range (t : t) : int * int = (base_of Main, !(cursor t Main))
+
+let bytes_used (t : t) : int = t.used_total
+let bytes_counted (t : t) : int = t.used_counted

@@ -1,0 +1,1 @@
+lib/vasm/jumpopt.ml: Hashtbl List Option Vinstr

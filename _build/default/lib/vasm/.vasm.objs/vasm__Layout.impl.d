@@ -1,0 +1,1 @@
+lib/vasm/layout.ml: Hashtbl List Option Vinstr

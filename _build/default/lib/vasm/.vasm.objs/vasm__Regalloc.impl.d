@@ -1,0 +1,1 @@
+lib/vasm/regalloc.ml: Array Hashtbl List Option Printf Queue Vinstr

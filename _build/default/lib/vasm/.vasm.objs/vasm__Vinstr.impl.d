@@ -1,0 +1,1 @@
+lib/vasm/vinstr.ml: Buffer Hhbc Hhir List Option Printf Runtime String

@@ -1,0 +1,1 @@
+lib/vasm/vlower.ml: Array Hashtbl Hhbc Hhir List Option Runtime Vinstr

@@ -1,0 +1,65 @@
+(** Jump optimizations (paper Fig. 7, Vasm column): jump threading through
+    trivial blocks, removal of jumps to the next block in layout order, and
+    empty-block elimination. *)
+
+open Vinstr
+
+let run (p : 'r prog) : 'r prog =
+  (* jump threading: a block consisting of a single VJmp is a trampoline *)
+  let trampoline = Hashtbl.create 8 in
+  List.iter
+    (fun vb ->
+       match vb.vb_instrs with
+       | [ VJmp t ] when not (List.mem vb.vb_id p.ventries) ->
+         Hashtbl.replace trampoline vb.vb_id t
+       | _ -> ())
+    p.vblocks;
+  let rec final t =
+    match Hashtbl.find_opt trampoline t with
+    | Some t' when t' <> t -> final t'
+    | _ -> t
+  in
+  let vblocks =
+    List.map
+      (fun vb ->
+         { vb with
+           vb_instrs =
+             List.map
+               (fun i ->
+                  match branch_label i with
+                  | Some t -> with_label i (final t)
+                  | None -> i)
+               vb.vb_instrs })
+      p.vblocks
+  in
+  (* drop unreferenced trampolines *)
+  let referenced = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace referenced e ()) p.ventries;
+  List.iter
+    (fun vb ->
+       List.iter
+         (fun i -> Option.iter (fun t -> Hashtbl.replace referenced t ())
+             (branch_label i))
+         vb.vb_instrs)
+    vblocks;
+  let vblocks =
+    List.filter
+      (fun vb ->
+         Hashtbl.mem referenced vb.vb_id
+         || not (Hashtbl.mem trampoline vb.vb_id))
+      vblocks
+  in
+  (* remove jumps to the immediately following block *)
+  let rec strip = function
+    | [] -> []
+    | vb :: (next :: _ as rest) ->
+      let vb' =
+        match List.rev vb.vb_instrs with
+        | VJmp t :: tl when t = next.vb_id ->
+          { vb with vb_instrs = List.rev tl }
+        | _ -> vb
+      in
+      vb' :: strip rest
+    | [ vb ] -> [ vb ]
+  in
+  { p with vblocks = strip vblocks }

@@ -1,0 +1,122 @@
+(** Profile-guided basic-block layout and hot/cold splitting (paper §5.4.2;
+    Pettis-Hansen).
+
+    Blocks are chained bottom-up by decreasing arc weight (arc weight =
+    min of endpoint weights, the classic approximation when only block
+    counters exist); chains are then ordered entry-first, hottest-first,
+    with cold blocks (exit stubs and blocks much colder than the entry)
+    split into a separate cold section. *)
+
+open Vinstr
+
+type section = Hot | Cold
+
+let cold_fraction = 0.05
+
+let run ?(pgo = true) (p : 'r prog) : 'r prog * (int, section) Hashtbl.t =
+  if not pgo then begin
+    (* without profile guidance, blocks stay in emission order and nothing
+       is split out: exit stubs and cold paths sit interleaved with hot
+       code, diluting i-cache lines — exactly the cost that profile-guided
+       layout + hot/cold splitting (§5.4.2) removes *)
+    let sections = Hashtbl.create 16 in
+    List.iter (fun vb -> Hashtbl.replace sections vb.vb_id Hot) p.vblocks;
+    (p, sections)
+  end else begin
+  let blocks = p.vblocks in
+  let weight = Hashtbl.create 16 in
+  List.iter (fun vb -> Hashtbl.replace weight vb.vb_id vb.vb_weight) blocks;
+  let w id = Option.value (Hashtbl.find_opt weight id) ~default:0 in
+  (* propagate weights into stub blocks: a stub reached by an unconditional
+     jump from a hot block runs on every pass (region-exit linkage) and is
+     hot; stubs reached only by guard failures stay cold.  Two rounds cover
+     stub-to-stub chains. *)
+  for _round = 1 to 2 do
+    List.iter
+      (fun vb ->
+         let wb = w vb.vb_id in
+         List.iter
+           (fun i ->
+              match i, branch_label i with
+              | VJmp _, Some t ->
+                if w t < wb then Hashtbl.replace weight t wb
+              | _, Some t ->
+                (* conditional / guard-fail edge: assume rarely taken *)
+                if w t < wb / 100 then Hashtbl.replace weight t (wb / 100)
+              | _ -> ())
+           vb.vb_instrs)
+      blocks
+  done;
+  (* arcs with weights *)
+  let arcs =
+    List.concat_map
+      (fun vb ->
+         List.filter_map
+           (fun i ->
+              match branch_label i with
+              | Some t when Hashtbl.mem weight t ->
+                Some (vb.vb_id, t, min (w vb.vb_id) (w t))
+              | _ -> None)
+           vb.vb_instrs)
+      blocks
+  in
+  let arcs =
+    if pgo then List.sort (fun (_, _, a) (_, _, b) -> compare b a) arcs
+    else arcs  (* static order: original emission order approximation *)
+  in
+  (* union-find-ish chains: each chain is a list of block ids *)
+  let chain_of : (int, int) Hashtbl.t = Hashtbl.create 16 in  (* block -> chain *)
+  let chains : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun idx vb ->
+       Hashtbl.replace chain_of vb.vb_id idx;
+       Hashtbl.replace chains idx [ vb.vb_id ])
+    blocks;
+  List.iter
+    (fun (a, b, _) ->
+       let ca = Hashtbl.find chain_of a and cb = Hashtbl.find chain_of b in
+       if ca <> cb then begin
+         let la = Hashtbl.find chains ca and lb = Hashtbl.find chains cb in
+         (* merge when a ends its chain and b begins its chain *)
+         match List.rev la, lb with
+         | last :: _, first :: _ when last = a && first = b ->
+           let merged = la @ lb in
+           Hashtbl.replace chains ca merged;
+           Hashtbl.remove chains cb;
+           List.iter (fun id -> Hashtbl.replace chain_of id ca) lb
+         | _ -> ()
+       end)
+    arcs;
+  (* order the chains: entry chain first, then by max weight descending *)
+  let entry_chain = Hashtbl.find chain_of p.ventry in
+  let all_chains =
+    Hashtbl.fold (fun cid l acc -> (cid, l) :: acc) chains []
+  in
+  let chain_weight (_, l) = List.fold_left (fun m id -> max m (w id)) 0 l in
+  let rest =
+    List.filter (fun (cid, _) -> cid <> entry_chain) all_chains
+    |> List.sort (fun a b -> compare (chain_weight b) (chain_weight a))
+  in
+  let order =
+    Hashtbl.find chains entry_chain
+    @ List.concat_map snd rest
+  in
+  (* hot/cold sections *)
+  let entry_w = max 1 (w p.ventry) in
+  let sections = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+       let cold =
+         w id = 0
+         || (pgo && float_of_int (w id) < cold_fraction *. float_of_int entry_w)
+       in
+       Hashtbl.replace sections id (if cold then Cold else Hot))
+    order;
+  (* entry blocks must stay hot (they are entry points) *)
+  List.iter (fun id -> Hashtbl.replace sections id Hot) p.ventries;
+  let by_id = List.map (fun vb -> (vb.vb_id, vb)) blocks in
+  let ordered = List.map (fun id -> List.assoc id by_id) order in
+  let hot = List.filter (fun vb -> Hashtbl.find sections vb.vb_id = Hot) ordered in
+  let cold = List.filter (fun vb -> Hashtbl.find sections vb.vb_id = Cold) ordered in
+  ({ p with vblocks = hot @ cold }, sections)
+  end

@@ -1,0 +1,158 @@
+(** Linear-scan register allocation (Wimmer-Franz style, on SSA-derived
+    vregs; paper §5.4.1).
+
+    Liveness is computed by backward dataflow over the block graph; each
+    vreg gets one conservative live interval over the linearized order.
+    Intervals that do not fit in the physical register file are spilled to
+    slots; spilled operands are encoded as memory operands ([Slot]) — the
+    execution engine charges an extra memory-access cost for them. *)
+
+open Vinstr
+
+type operand =
+  | Reg of int
+  | Slot of int
+
+let operand_to_string = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Slot s -> Printf.sprintf "[sp+%d]" s
+
+type result = {
+  ra_prog : operand prog;
+  ra_nslots : int;
+  ra_loc : (int, operand) Hashtbl.t;   (* vreg -> final location *)
+  ra_spilled : int;
+}
+
+let run (p : int prog) ~(nregs : int) : result =
+  (* ---- positions ---- *)
+  let pos = Hashtbl.create 64 in          (* block id -> (start, end) *)
+  let counter = ref 0 in
+  List.iter
+    (fun vb ->
+       let s = !counter in
+       counter := !counter + List.length vb.vb_instrs + 1;
+       Hashtbl.replace pos vb.vb_id (s, !counter - 1))
+    p.vblocks;
+  (* ---- block-level liveness ---- *)
+  let blocks = Array.of_list p.vblocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i vb -> Hashtbl.replace index_of vb.vb_id i) blocks;
+  let succs_of vb =
+    List.filter_map branch_label vb.vb_instrs
+    |> List.filter_map (Hashtbl.find_opt index_of)
+  in
+  let use_b = Array.make n [] and def_b = Array.make n [] in
+  Array.iteri
+    (fun i vb ->
+       let defined = Hashtbl.create 8 in
+       let upward = Hashtbl.create 8 in
+       List.iter
+         (fun ins ->
+            List.iter
+              (fun u -> if not (Hashtbl.mem defined u) then Hashtbl.replace upward u ())
+              (uses ins);
+            Option.iter (fun d -> Hashtbl.replace defined d ()) (def ins))
+         vb.vb_instrs;
+       use_b.(i) <- Hashtbl.fold (fun k () a -> k :: a) upward [];
+       def_b.(i) <- Hashtbl.fold (fun k () a -> k :: a) defined [])
+    blocks;
+  let live_in = Array.make n [] and live_out = Array.make n [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.concat_map (fun s -> live_in.(s)) (succs_of blocks.(i))
+        |> List.sort_uniq compare
+      in
+      let inn =
+        List.sort_uniq compare
+          (use_b.(i)
+           @ List.filter (fun v -> not (List.mem v def_b.(i))) out)
+      in
+      if out <> live_out.(i) || inn <> live_in.(i) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* ---- intervals ---- *)
+  let starts = Hashtbl.create 64 and ends = Hashtbl.create 64 in
+  let extend v p =
+    (match Hashtbl.find_opt starts v with
+     | Some s when s <= p -> ()
+     | _ -> Hashtbl.replace starts v p);
+    (match Hashtbl.find_opt ends v with
+     | Some e when e >= p -> ()
+     | _ -> Hashtbl.replace ends v p)
+  in
+  Array.iteri
+    (fun i vb ->
+       let s, e = Hashtbl.find pos vb.vb_id in
+       List.iter (fun v -> extend v s) live_in.(i);
+       List.iter (fun v -> extend v e) live_out.(i);
+       List.iteri
+         (fun j ins ->
+            let pp = s + j in
+            List.iter (fun v -> extend v pp) (uses ins);
+            Option.iter (fun v -> extend v pp) (def ins))
+         vb.vb_instrs)
+    blocks;
+  let intervals =
+    Hashtbl.fold (fun v s acc -> (v, s, Hashtbl.find ends v) :: acc) starts []
+    |> List.sort (fun (_, s1, _) (_, s2, _) -> compare s1 s2)
+  in
+  (* ---- linear scan ---- *)
+  let loc : (int, operand) Hashtbl.t = Hashtbl.create 64 in
+  let free = Queue.create () in
+  for r = 0 to nregs - 1 do Queue.push r free done;
+  let active : (int * int * int) list ref = ref [] in  (* (end, vreg, reg) *)
+  let nslots = ref 0 and spilled = ref 0 in
+  let expire start =
+    let keep, gone = List.partition (fun (e, _, _) -> e >= start) !active in
+    List.iter (fun (_, _, r) -> Queue.push r free) gone;
+    active := keep
+  in
+  List.iter
+    (fun (v, s, e) ->
+       expire s;
+       if Queue.is_empty free then begin
+         (* spill the interval that ends last (current or an active one) *)
+         match List.sort (fun (e1, _, _) (e2, _, _) -> compare e2 e1) !active with
+         | (ae, av, ar) :: _ when ae > e ->
+           (* steal the register from the active interval; spill it *)
+           Hashtbl.replace loc av (Slot !nslots);
+           incr nslots; incr spilled;
+           active := (e, v, ar) :: List.filter (fun (_, x, _) -> x <> av) !active;
+           Hashtbl.replace loc v (Reg ar)
+         | _ ->
+           Hashtbl.replace loc v (Slot !nslots);
+           incr nslots; incr spilled
+       end else begin
+         let r = Queue.pop free in
+         Hashtbl.replace loc v (Reg r);
+         active := (e, v, r) :: !active
+       end)
+    intervals;
+  (* ---- rewrite ---- *)
+  let resolve v =
+    match Hashtbl.find_opt loc v with
+    | Some o -> o
+    | None -> Reg 0   (* dead vreg (defined, never used): any register *)
+  in
+  let vblocks =
+    List.map
+      (fun vb ->
+         { vb_id = vb.vb_id;
+           vb_instrs = List.map (map_regs resolve) vb.vb_instrs;
+           vb_weight = vb.vb_weight })
+      p.vblocks
+  in
+  { ra_prog = { vblocks; ventry = p.ventry; ventries = p.ventries;
+                vexits = p.vexits; vnext_reg = p.vnext_reg };
+    ra_nslots = !nslots;
+    ra_loc = loc;
+    ra_spilled = !spilled }

@@ -1,0 +1,1 @@
+lib/vm/builtins.ml: Array Buffer Char Float Hhbc List Printf Runtime Scanf String

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Builtins Cost Hhbc List Mphp Option Output Runtime

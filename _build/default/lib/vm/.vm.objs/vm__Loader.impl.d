@@ -1,0 +1,1 @@
+lib/vm/loader.ml: Builtins Hashtbl Hhbc Interp List Option Output Runtime String Vm_callable

@@ -1,0 +1,1 @@
+lib/vm/loader.mli: Hhbc

@@ -1,0 +1,1 @@
+lib/vm/prof.ml: Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/vm/vm_callable.ml: Array Builtins Hhbc Interp Runtime

@@ -1,0 +1,700 @@
+(** The HHBC interpreter (paper §2.4).
+
+    A straightforward dispatch loop with precise reference counting: stack
+    slots and locals own references; every transfer is explicit.  The
+    interpreter is also the JIT's fallback execution engine: compiled code
+    side-exits here via OSR, and the interpreter re-enters compiled code at
+    jump targets through {!translation_hook}.
+
+    Execution charges the cycle ledger per bytecode (see {!Cost}), modeling
+    a threaded interpreter's dispatch + handler costs. *)
+
+open Runtime.Value
+open Hhbc.Instr
+
+exception Php_exception of value
+
+type iter_state = {
+  mutable it_arr : arr counted option;   (* owns a reference while active *)
+  mutable it_pos : int;
+}
+
+type frame = {
+  func : Hhbc.Instr.func;
+  unit_ : Hhbc.Hunit.t;
+  locals : value array;
+  stack : value array;
+  mutable sp : int;                      (* next free slot *)
+  mutable this_ : value;                 (* VObj or VNull; owned *)
+  iters : iter_state array;
+}
+
+(** Result of attempting to enter compiled code at a (frame, pc) point. *)
+type enter_result =
+  | NoTranslation
+  | Resumed of int      (** machine code ran and side-exited to this pc *)
+  | Returned of value   (** machine code ran the function to completion *)
+
+(** Installed by the JIT engine: called at function entry and at jump
+    targets to transfer control into compiled code. *)
+let translation_hook : (frame -> int -> enter_result) ref =
+  ref (fun _ _ -> NoTranslation)
+
+(** Counts charged by interpreted execution only; used by Figure 9's
+    "time in live vs optimized code" statistic. *)
+let instr_count = ref 0
+
+(* Forward declaration to break the call cycle: calling a function goes
+   through the engine (which may run compiled code).  Default: interpret. *)
+let call_dispatch :
+  (Hhbc.Hunit.t -> int -> value array -> value -> value) ref =
+  ref (fun _ _ _ _ -> assert false)
+
+(** Pop the top [n] stack values as an argument vector (ownership moves). *)
+let take_args (fr : frame) (n : int) : value array =
+  let args = Array.init n (fun j -> fr.stack.(fr.sp - n + j)) in
+  for j = fr.sp - n to fr.sp - 1 do fr.stack.(j) <- VUninit done;
+  fr.sp <- fr.sp - n;
+  args
+
+let push (fr : frame) (v : value) =
+  fr.stack.(fr.sp) <- v;
+  fr.sp <- fr.sp + 1
+
+let pop (fr : frame) : value =
+  fr.sp <- fr.sp - 1;
+  let v = fr.stack.(fr.sp) in
+  fr.stack.(fr.sp) <- VUninit;
+  v
+
+let top (fr : frame) : value = fr.stack.(fr.sp - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics (shared with JIT helpers)                        *)
+(* ------------------------------------------------------------------ *)
+
+let arith_add a b =
+  match to_num a, to_num b with
+  | `I x, `I y -> VInt (x + y)
+  | `I x, `D y -> VDbl (float_of_int x +. y)
+  | `D x, `I y -> VDbl (x +. float_of_int y)
+  | `D x, `D y -> VDbl (x +. y)
+
+let arith_sub a b =
+  match to_num a, to_num b with
+  | `I x, `I y -> VInt (x - y)
+  | `I x, `D y -> VDbl (float_of_int x -. y)
+  | `D x, `I y -> VDbl (x -. float_of_int y)
+  | `D x, `D y -> VDbl (x -. y)
+
+let arith_mul a b =
+  match to_num a, to_num b with
+  | `I x, `I y -> VInt (x * y)
+  | `I x, `D y -> VDbl (float_of_int x *. y)
+  | `D x, `I y -> VDbl (x *. float_of_int y)
+  | `D x, `D y -> VDbl (x *. y)
+
+let arith_div a b =
+  match to_num a, to_num b with
+  | _, `I 0 -> fatal "division by zero"
+  | _, `D 0.0 -> fatal "division by zero"
+  | `I x, `I y -> if x mod y = 0 then VInt (x / y) else VDbl (float_of_int x /. float_of_int y)
+  | `I x, `D y -> VDbl (float_of_int x /. y)
+  | `D x, `I y -> VDbl (x /. float_of_int y)
+  | `D x, `D y -> VDbl (x /. y)
+
+let arith_mod a b =
+  let x = to_int_val a and y = to_int_val b in
+  if y = 0 then fatal "modulo by zero";
+  VInt (x mod y)
+
+(** Apply a binary operator; returns an owned result.  Operands borrowed. *)
+let binop_apply (op : binop) (a : value) (b : value) : value =
+  match op with
+  | OpAdd -> arith_add a b
+  | OpSub -> arith_sub a b
+  | OpMul -> arith_mul a b
+  | OpDiv -> arith_div a b
+  | OpMod -> arith_mod a b
+  | OpConcat ->
+    (* returns an owned counted string (rc = 1) *)
+    Runtime.Heap.new_str (to_string_val a ^ to_string_val b)
+  | OpEq -> VBool (loose_eq a b)
+  | OpNeq -> VBool (not (loose_eq a b))
+  | OpSame -> VBool (strict_eq a b)
+  | OpNSame -> VBool (not (strict_eq a b))
+  | OpLt -> VBool (compare_vals a b < 0)
+  | OpLte -> VBool (compare_vals a b <= 0)
+  | OpGt -> VBool (compare_vals a b > 0)
+  | OpGte -> VBool (compare_vals a b >= 0)
+  | OpBitAnd -> VInt (to_int_val a land to_int_val b)
+  | OpBitOr -> VInt (to_int_val a lor to_int_val b)
+  | OpBitXor -> VInt (to_int_val a lxor to_int_val b)
+  | OpShl -> VInt (to_int_val a lsl (to_int_val b land 63))
+  | OpShr -> VInt (to_int_val a asr (to_int_val b land 63))
+
+let incdec_apply (op : incdec_op) (old : value) : value (* new *) * value (* result *) =
+  let nv =
+    match old with
+    | VInt i -> VInt (i + (match op with PostInc | PreInc -> 1 | _ -> -1))
+    | VDbl d -> VDbl (d +. (match op with PostInc | PreInc -> 1.0 | _ -> -1.0))
+    | VNull -> (match op with PostInc | PreInc -> VInt 1 | _ -> VNull)
+    | _ -> fatal "cannot increment/decrement %s" (tag_name (tag_of_value old))
+  in
+  let result = match op with PostInc | PostDec -> old | _ -> nv in
+  (nv, result)
+
+(* ------------------------------------------------------------------ *)
+(* Frame setup and teardown                                            *)
+(* ------------------------------------------------------------------ *)
+
+let max_stack = 128
+
+let check_hint (f : func) (p : param_info) (v : value) =
+  match p.pi_hint with
+  | None -> ()
+  | Some h ->
+    let t = Hhbc.Rtype.of_hint h in
+    if not (Hhbc.Rtype.value_matches t v) then
+      fatal "argument $%s of %s expects %s, %s given"
+        p.pi_name f.fn_name (Mphp.Ast.hint_name h)
+        (tag_name (tag_of_value v))
+
+(** Build a frame: [args] ownership transfers to the frame's locals.
+    Missing arguments are filled from defaults; hints are checked (§2.1). *)
+let make_frame (u : Hhbc.Hunit.t) (f : func) (args : value array) (this_ : value) : frame =
+  let nargs = Array.length args in
+  let nparams = Array.length f.fn_params in
+  if nargs > nparams then
+    fatal "%s expects at most %d arguments, %d given" f.fn_name nparams nargs;
+  let locals = Array.make (max f.fn_num_locals 1) VUninit in
+  Array.iteri
+    (fun i p ->
+       if i < nargs then begin
+         check_hint f p args.(i);
+         locals.(i) <- args.(i)
+       end else
+         match p.pi_default with
+         | Some c -> locals.(i) <- Hhbc.Hunit.materialize c
+         | None -> fatal "%s: missing argument $%s" f.fn_name p.pi_name)
+    f.fn_params;
+  { func = f; unit_ = u; locals;
+    stack = Array.make max_stack VUninit; sp = 0;
+    this_; iters = Array.init (max f.fn_num_iters 1)
+               (fun _ -> { it_arr = None; it_pos = 0 }) }
+
+let free_iter (it : iter_state) =
+  match it.it_arr with
+  | Some node ->
+    Runtime.Heap.decref (VArr node);
+    it.it_arr <- None
+  | None -> ()
+
+(** Release everything a frame owns (locals, stack, $this, iterators). *)
+let teardown (fr : frame) =
+  Array.iteri (fun i v -> Runtime.Heap.decref v; fr.locals.(i) <- VUninit) fr.locals;
+  for i = 0 to fr.sp - 1 do
+    Runtime.Heap.decref fr.stack.(i);
+    fr.stack.(i) <- VUninit
+  done;
+  fr.sp <- 0;
+  Runtime.Heap.decref fr.this_;
+  fr.this_ <- VNull;
+  Array.iter free_iter fr.iters
+
+(* ------------------------------------------------------------------ *)
+(* Object construction and method dispatch                             *)
+(* ------------------------------------------------------------------ *)
+
+let new_object (u : Hhbc.Hunit.t) (cls_name : string) (args : value array) : value =
+  let c = Runtime.Vclass.find cls_name in
+  let obj = Runtime.Heap.new_obj c.c_id (Runtime.Vclass.num_props c) in
+  (* initialize property defaults from the class template *)
+  (match obj with
+   | VObj o ->
+     (* defaults are stored per unit class_info; walk the parent chain *)
+     let rec init_defaults (cname : string) =
+       let ci =
+         List.find_opt (fun ci -> ci.Hhbc.Hunit.ci_name = cname) u.Hhbc.Hunit.classes
+       in
+       match ci with
+       | None -> ()
+       | Some ci ->
+         (match ci.ci_parent with Some p -> init_defaults p | None -> ());
+         List.iter
+           (fun (pname, cv) ->
+              match Runtime.Vclass.prop_slot c pname with
+              | Some slot ->
+                Runtime.Heap.decref o.data.props.(slot);
+                o.data.props.(slot) <- Hhbc.Hunit.materialize cv
+              | None -> ())
+           ci.ci_props
+     in
+     init_defaults cls_name
+   | _ -> assert false);
+  (* run the constructor *)
+  (match c.c_ctor with
+   | Some fid ->
+     Runtime.Heap.incref obj;  (* constructor's $this reference *)
+     (try
+        let r = !call_dispatch u fid args obj in
+        Runtime.Heap.decref r
+      with e ->
+        (* constructor threw: release the half-built object *)
+        Runtime.Heap.decref obj;
+        raise e)
+   | None ->
+     (* no ctor: args are still owned by us; release them *)
+     Array.iter Runtime.Heap.decref args);
+  obj
+
+let lookup_method_for (v : value) (mname : string) : Runtime.Vclass.meth =
+  match v with
+  | VObj o ->
+    let c = Runtime.Vclass.get o.data.cls in
+    (match Runtime.Vclass.lookup_method c mname with
+     | Some m -> m
+     | None -> fatal "call to undefined method %s::%s" c.c_name mname)
+  | _ -> fatal "method call %s() on non-object %s" mname (tag_name (tag_of_value v))
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch loop                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let charge = Runtime.Ledger.charge_interp
+
+(** Find the innermost exception handler covering [pc] whose class matches
+    the exception value. *)
+let find_handler (fr : frame) (pc : int) (exn_v : value) : ex_entry option =
+  List.find_opt
+    (fun e ->
+       pc >= e.ex_start && pc < e.ex_end
+       && (match exn_v with
+           | VObj o ->
+             Runtime.Vclass.instanceof (Runtime.Vclass.get o.data.cls) e.ex_class
+           | _ -> e.ex_class = "Exception"))
+    fr.func.fn_ex_table
+
+(** Interpret [fr] starting at [start_pc] until the function returns.
+    Consults the JIT at taken-jump targets (OSR entry points). *)
+let rec run (fr : frame) (start_pc : int) : value =
+  let code = fr.func.fn_body in
+  let pc = ref start_pc in
+  let ret : value option ref = ref None in
+  while Option.is_none !ret do
+    let this_pc = !pc in
+    try
+      let i = code.(this_pc) in
+      charge (Cost.instr_cost i);
+      incr instr_count;
+      (* default: fall through *)
+      pc := this_pc + 1;
+      (match i with
+       | Int n -> push fr (VInt n)
+       | Dbl d -> push fr (VDbl d)
+       | String s -> push fr (Hhbc.Hunit.intern s)
+       | True -> push fr (VBool true)
+       | False -> push fr (VBool false)
+       | Null -> push fr VNull
+       | NewArray -> push fr (Runtime.Heap.new_arr ())
+       | AddNewElemC ->
+         let v = pop fr in
+         (match top fr with
+          | VArr node ->
+            let node' = Runtime.Varray.append node v in
+            fr.stack.(fr.sp - 1) <- VArr node'
+          | _ -> fatal "AddNewElemC on non-array")
+       | AddElemC ->
+         let v = pop fr in
+         let k = pop fr in
+         (match top fr with
+          | VArr node ->
+            let node' = Runtime.Varray.set node (Runtime.Varray.key_of_value k) v in
+            fr.stack.(fr.sp - 1) <- VArr node';
+            Runtime.Heap.decref k
+          | _ -> fatal "AddElemC on non-array")
+       | CGetL l ->
+         let v = fr.locals.(l) in
+         if v = VUninit then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
+         Runtime.Heap.incref v;
+         push fr v
+       | CGetQuietL l ->
+         let v = fr.locals.(l) in
+         let v = if v = VUninit then VNull else v in
+         Runtime.Heap.incref v;
+         push fr v
+       | CGetL2 l ->
+         (* push local *under* the current top *)
+         let t = pop fr in
+         let v = fr.locals.(l) in
+         if v = VUninit then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
+         Runtime.Heap.incref v;
+         push fr v;
+         push fr t
+       | PushL l ->
+         let v = fr.locals.(l) in
+         if v = VUninit then fatal "PushL of uninit local";
+         fr.locals.(l) <- VUninit;
+         push fr v
+       | SetL l ->
+         let v = top fr in
+         Runtime.Heap.incref v;
+         let old = fr.locals.(l) in
+         fr.locals.(l) <- v;
+         (* store before releasing: a destructor running here sees the
+            local already rebound (same order as compiled code) *)
+         Runtime.Heap.decref old
+       | PopL l ->
+         let v = pop fr in
+         let old = fr.locals.(l) in
+         fr.locals.(l) <- v;
+         Runtime.Heap.decref old
+       | PopC -> Runtime.Heap.decref (pop fr)
+       | Dup ->
+         let v = top fr in
+         Runtime.Heap.incref v;
+         push fr v
+       | IncDecL (l, op) ->
+         let old = fr.locals.(l) in
+         let old = if old = VUninit then VNull else old in
+         let nv, result = incdec_apply op old in
+         fr.locals.(l) <- nv;
+         push fr result
+       | IssetL l ->
+         push fr (VBool (match fr.locals.(l) with VUninit | VNull -> false | _ -> true))
+       | UnsetL l ->
+         let old = fr.locals.(l) in
+         fr.locals.(l) <- VUninit;
+         Runtime.Heap.decref old
+       | Binop op ->
+         let b = pop fr in
+         let a = pop fr in
+         (* binop_apply returns an owned value (never one of its operands) *)
+         let r = binop_apply op a b in
+         Runtime.Heap.decref a;
+         Runtime.Heap.decref b;
+         push fr r
+       | Not -> let v = pop fr in push fr (VBool (not (truthy v))); Runtime.Heap.decref v
+       | Neg ->
+         let v = pop fr in
+         (match to_num v with
+          | `I i -> push fr (VInt (-i))
+          | `D d -> push fr (VDbl (-.d)));
+         Runtime.Heap.decref v
+       | BitNot ->
+         let v = pop fr in
+         push fr (VInt (lnot (to_int_val v)));
+         Runtime.Heap.decref v
+       | CastInt -> let v = pop fr in push fr (VInt (to_int_val v)); Runtime.Heap.decref v
+       | CastDbl -> let v = pop fr in push fr (VDbl (to_dbl_val v)); Runtime.Heap.decref v
+       | CastBool -> let v = pop fr in push fr (VBool (truthy v)); Runtime.Heap.decref v
+       | CastString ->
+         let v = pop fr in
+         push fr (Runtime.Heap.new_str (to_string_val v));
+         Runtime.Heap.decref v
+       | InstanceOf cname ->
+         let v = pop fr in
+         let r = match v with
+           | VObj o -> Runtime.Vclass.instanceof (Runtime.Vclass.get o.data.cls) cname
+           | _ -> false
+         in
+         push fr (VBool r);
+         Runtime.Heap.decref v
+       | IsTypeL (l, tag) ->
+         push fr (VBool (tag_of_value fr.locals.(l) = tag))
+       | Jmp t -> jump fr pc this_pc t ret
+       | JmpZ t ->
+         let v = pop fr in
+         let z = not (truthy v) in
+         Runtime.Heap.decref v;
+         if z then jump fr pc this_pc t ret
+       | JmpNZ t ->
+         let v = pop fr in
+         let nz = truthy v in
+         Runtime.Heap.decref v;
+         if nz then jump fr pc this_pc t ret
+       | RetC ->
+         let v = pop fr in
+         teardown fr;
+         ret := Some v
+       | Throw ->
+         let v = pop fr in
+         raise (Php_exception v)
+       | Fatal m -> fatal "%s" m
+       | FCall (fid, nargs) ->
+         let args = take_args fr nargs in
+         let r = !call_dispatch fr.unit_ fid args VNull in
+         push fr r
+       | FCallD (name, nargs) ->
+         (match Hhbc.Hunit.find_func fr.unit_ name with
+          | Some fid ->
+            let args = take_args fr nargs in
+            let r = !call_dispatch fr.unit_ fid args VNull in
+            push fr r
+          | None ->
+            let args = take_args fr nargs in
+            charge (Builtins.cost name args);
+            let r = Builtins.call name args in
+            Array.iter Runtime.Heap.decref args;
+            push fr r)
+       | FCallBuiltin (name, nargs) ->
+         let args = take_args fr nargs in
+         charge (Builtins.cost name args);
+         let r = Builtins.call name args in
+         Array.iter Runtime.Heap.decref args;
+         push fr r
+       | FCallM (mname, nargs) ->
+         let args = take_args fr nargs in
+         let recv = pop fr in
+         let m = lookup_method_for recv mname in
+         let r = !call_dispatch fr.unit_ m.m_func args recv in
+         push fr r
+       | NewObjD (cname, nargs) ->
+         let args = take_args fr nargs in
+         let obj = new_object fr.unit_ cname args in
+         push fr obj
+       | This ->
+         (match fr.this_ with
+          | VObj _ as t -> Runtime.Heap.incref t; push fr t
+          | _ -> fatal "using $this outside of a method")
+       | QueryM_Elem ->
+         let k = pop fr in
+         let base = pop fr in
+         (match base with
+          | VArr a ->
+            let v = Runtime.Varray.get a.data (Runtime.Varray.key_of_value k) in
+            Runtime.Heap.incref v;
+            push fr v;
+            Runtime.Heap.decref base;
+            Runtime.Heap.decref k
+          | _ -> fatal "cannot index %s" (tag_name (tag_of_value base)))
+       | QueryM_Prop p ->
+         let base = pop fr in
+         (match base with
+          | VObj o ->
+            let c = Runtime.Vclass.get o.data.cls in
+            (match Runtime.Vclass.prop_slot c p with
+             | Some slot ->
+               let v = o.data.props.(slot) in
+               Runtime.Heap.incref v;
+               push fr v;
+               Runtime.Heap.decref base
+             | None -> fatal "undefined property %s::$%s" c.c_name p)
+          | _ -> fatal "property access on %s" (tag_name (tag_of_value base)))
+       | SetM_ElemL l ->
+         let v = pop fr in
+         let k = pop fr in
+         (match fr.locals.(l) with
+          | VArr node ->
+            Runtime.Heap.incref v;   (* the array's reference *)
+            let node' = Runtime.Varray.set node (Runtime.Varray.key_of_value k) v in
+            fr.locals.(l) <- VArr node';
+            Runtime.Heap.decref k;
+            push fr v                (* expression result keeps our ref *)
+          | VUninit ->
+            (* auto-vivification: $a[k] = v on unset local creates an array *)
+            let node = Runtime.Heap.new_arr_node () in
+            Runtime.Heap.incref v;
+            let node' = Runtime.Varray.set node (Runtime.Varray.key_of_value k) v in
+            fr.locals.(l) <- VArr node';
+            Runtime.Heap.decref k;
+            push fr v
+          | _ -> fatal "cannot use %s as array" (tag_name (tag_of_value fr.locals.(l))))
+       | SetM_NewElemL l ->
+         let v = pop fr in
+         (match fr.locals.(l) with
+          | VArr node ->
+            Runtime.Heap.incref v;
+            let node' = Runtime.Varray.append node v in
+            fr.locals.(l) <- VArr node';
+            push fr v
+          | VUninit ->
+            let node = Runtime.Heap.new_arr_node () in
+            Runtime.Heap.incref v;
+            let node' = Runtime.Varray.append node v in
+            fr.locals.(l) <- VArr node';
+            push fr v
+          | _ -> fatal "cannot append to %s" (tag_name (tag_of_value fr.locals.(l))))
+       | UnsetM_ElemL l ->
+         let k = pop fr in
+         (match fr.locals.(l) with
+          | VArr node ->
+            let node' = Runtime.Varray.unset node (Runtime.Varray.key_of_value k) in
+            fr.locals.(l) <- VArr node';
+            Runtime.Heap.decref k
+          | VUninit -> Runtime.Heap.decref k
+          | _ -> fatal "cannot unset element of non-array")
+       | SetM_Prop p ->
+         let v = pop fr in
+         let base = pop fr in
+         (match base with
+          | VObj o ->
+            let c = Runtime.Vclass.get o.data.cls in
+            (match Runtime.Vclass.prop_slot c p with
+             | Some slot ->
+               Runtime.Heap.incref v;
+               Runtime.Heap.decref o.data.props.(slot);
+               o.data.props.(slot) <- v;
+               Runtime.Heap.decref base;
+               push fr v
+             | None -> fatal "undefined property %s::$%s" c.c_name p)
+          | _ -> fatal "property write on %s" (tag_name (tag_of_value base)))
+       | IncDecM_Prop (p, op) ->
+         let base = pop fr in
+         (match base with
+          | VObj o ->
+            let c = Runtime.Vclass.get o.data.cls in
+            (match Runtime.Vclass.prop_slot c p with
+             | Some slot ->
+               let old = o.data.props.(slot) in
+               let nv, result = incdec_apply op old in
+               o.data.props.(slot) <- nv;
+               push fr result;
+               Runtime.Heap.decref base
+             | None -> fatal "undefined property %s::$%s" c.c_name p)
+          | _ -> fatal "property incdec on %s" (tag_name (tag_of_value base)))
+       | IssetM_Elem ->
+         let k = pop fr in
+         let base = pop fr in
+         (match base with
+          | VArr a ->
+            let r = match Runtime.Varray.find_opt a.data (Runtime.Varray.key_of_value k) with
+              | Some VNull | None -> false
+              | Some _ -> true
+            in
+            push fr (VBool r);
+            Runtime.Heap.decref base;
+            Runtime.Heap.decref k
+          | _ ->
+            push fr (VBool false);
+            Runtime.Heap.decref base;
+            Runtime.Heap.decref k)
+       | IssetM_Prop p ->
+         let base = pop fr in
+         (match base with
+          | VObj o ->
+            let c = Runtime.Vclass.get o.data.cls in
+            let r = match Runtime.Vclass.prop_slot c p with
+              | Some slot -> (match o.data.props.(slot) with VNull | VUninit -> false | _ -> true)
+              | None -> false
+            in
+            push fr (VBool r);
+            Runtime.Heap.decref base
+          | _ ->
+            push fr (VBool false);
+            Runtime.Heap.decref base)
+       | Print ->
+         let v = pop fr in
+         Output.write (to_string_val v);
+         Runtime.Heap.decref v
+       | IterInit (id, done_t) ->
+         let v = pop fr in
+         (match v with
+          | VArr node ->
+            if node.data.count = 0 then begin
+              Runtime.Heap.decref v;
+              pc := done_t
+            end else begin
+              let it = fr.iters.(id) in
+              it.it_arr <- Some node;  (* transfer our reference *)
+              it.it_pos <- 0
+            end
+          | _ -> fatal "foreach over non-array %s" (tag_name (tag_of_value v)))
+       | IterKV (id, kloc, vloc) ->
+         let it = fr.iters.(id) in
+         (match it.it_arr with
+          | Some node ->
+            let k, v = node.data.entries.(it.it_pos) in
+            (match kloc with
+             | Some kl ->
+               let kv = match k with
+                 | KInt i -> VInt i
+                 | KStr s -> Hhbc.Hunit.intern s
+               in
+               let old = fr.locals.(kl) in
+               fr.locals.(kl) <- kv;
+               Runtime.Heap.decref old
+             | None -> ());
+            Runtime.Heap.incref v;
+            let old = fr.locals.(vloc) in
+            fr.locals.(vloc) <- v;
+            Runtime.Heap.decref old
+          | None -> fatal "IterKV on dead iterator")
+       | IterNext (id, loop_t) ->
+         let it = fr.iters.(id) in
+         (match it.it_arr with
+          | Some node ->
+            it.it_pos <- it.it_pos + 1;
+            if it.it_pos < node.data.count then jump fr pc this_pc loop_t ret
+            else free_iter it
+          | None -> fatal "IterNext on dead iterator")
+       | IterFree id -> free_iter fr.iters.(id)
+       | AssertRATL _ | AssertRATStk _ | Nop -> ())
+    with
+    | Php_exception exn_v ->
+      (match find_handler fr this_pc exn_v with
+       | Some e ->
+         (* clear the eval stack: mid-expression temporaries die here *)
+         for j = 0 to fr.sp - 1 do
+           Runtime.Heap.decref fr.stack.(j);
+           fr.stack.(j) <- VUninit
+         done;
+         fr.sp <- 0;
+         Runtime.Heap.decref fr.locals.(e.ex_local);
+         fr.locals.(e.ex_local) <- exn_v;   (* transfer *)
+         pc := e.ex_handler
+       | None ->
+         teardown fr;
+         raise (Php_exception exn_v))
+  done;
+  Option.get !ret
+
+(** Taken-jump handler: consult the JIT for a translation at the target
+    (this is where interpreted execution re-enters compiled code). *)
+and jump fr pc this_pc target ret_ref =
+  ignore this_pc;
+  match !translation_hook fr target with
+  | NoTranslation -> pc := target
+  | Resumed pc' -> pc := pc'
+  | Returned v -> ret_ref := Some v
+
+(** Interpret a call from scratch (no JIT). *)
+and call_interpreted (u : Hhbc.Hunit.t) (fid : int) (args : value array)
+    (this_ : value) : value =
+  let f = Hhbc.Hunit.func u fid in
+  let fr = make_frame u f args this_ in
+  (try run fr 0
+   with Php_exception e ->
+     (* frame was torn down by [run]'s unwinder *)
+     raise (Php_exception e))
+
+let () = call_dispatch := call_interpreted
+
+(** Resume a frame by dispatching an exception raised at [pc] (used by the
+    engine when an exception unwinds out of compiled code through a call
+    fixup).  Either continues in a matching handler and returns the frame's
+    eventual result, or tears the frame down and re-raises. *)
+let resume_with_exception (fr : frame) (pc : int) (exn_v : value) : value =
+  match find_handler fr pc exn_v with
+  | Some e ->
+    for j = 0 to fr.sp - 1 do
+      Runtime.Heap.decref fr.stack.(j);
+      fr.stack.(j) <- VUninit
+    done;
+    fr.sp <- 0;
+    Runtime.Heap.decref fr.locals.(e.ex_local);
+    fr.locals.(e.ex_local) <- exn_v;
+    run fr e.ex_handler
+  | None ->
+    teardown fr;
+    raise (Php_exception exn_v)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Call a function by name with OCaml-side arguments (owned by callee). *)
+let call_by_name (u : Hhbc.Hunit.t) (name : string) (args : value list) : value =
+  match Hhbc.Hunit.find_func u name with
+  | Some fid -> !call_dispatch u fid (Array.of_list args) VNull
+  | None -> fatal "undefined function %s" name

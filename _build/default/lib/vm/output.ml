@@ -1,0 +1,17 @@
+(** The VM's output buffer (echo / print).  Differential tests compare this
+    buffer across execution modes. *)
+
+let buf = Buffer.create 1024
+
+let write (s : string) = Buffer.add_string buf s
+
+let contents () = Buffer.contents buf
+
+let reset () = Buffer.clear buf
+
+(** Capture the output produced by [f]. *)
+let capture (f : unit -> 'a) : 'a * string =
+  let before = Buffer.length buf in
+  let r = f () in
+  let s = Buffer.sub buf before (Buffer.length buf - before) in
+  (r, s)

@@ -1,0 +1,105 @@
+(** Profiling data gathered by profiling translations (paper §4.1).
+
+    - Per-translation execution counters, incremented by the counter the
+      profiling JIT inserts after the type guards (item 3 of §4.1).  Since
+      profiling tracelets are type-specialized basic blocks, these counters
+      simultaneously give the type distribution of each block's inputs and
+      the block execution frequencies.
+    - Targeted profiles (item 4): method-call receiver classes per call
+      site, used by the method-dispatch optimization (§5.3.3), and function
+      call counts used by function sorting (§5.1.1). *)
+
+type counter_id = int
+
+let counters : int array ref = ref (Array.make 1024 0)
+let n_counters = ref 0
+
+let new_counter () : counter_id =
+  let id = !n_counters in
+  incr n_counters;
+  if id >= Array.length !counters then begin
+    let bigger = Array.make (2 * Array.length !counters) 0 in
+    Array.blit !counters 0 bigger 0 (Array.length !counters);
+    counters := bigger
+  end;
+  id
+
+let incr_counter (id : counter_id) = !counters.(id) <- !counters.(id) + 1
+
+let read_counter (id : counter_id) = !counters.(id)
+
+(* --- method-call receiver profiles, keyed by (func, bytecode pc) --- *)
+
+type callsite = { cs_func : int; cs_pc : int }
+
+let method_targets : (callsite, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64
+
+(* method name per call site, so the call graph can resolve edges *)
+let method_names : (callsite, string) Hashtbl.t = Hashtbl.create 64
+
+let record_method_target ?(mname : string option) ~(func : int) ~(pc : int)
+    ~(cls : int) () =
+  let key = { cs_func = func; cs_pc = pc } in
+  (match mname with
+   | Some n -> Hashtbl.replace method_names key n
+   | None -> ());
+  (* cls < 0 registers the call site (name) without counting a receiver *)
+  if cls >= 0 then begin
+    let tbl =
+      match Hashtbl.find_opt method_targets key with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace method_targets key t;
+        t
+    in
+    Hashtbl.replace tbl cls (1 + Option.value (Hashtbl.find_opt tbl cls) ~default:0)
+  end
+
+(** (caller, mname, receiver-class, weight) tuples for call-graph edges. *)
+let method_edges () : (int * string * int * int) list =
+  Hashtbl.fold
+    (fun key tbl acc ->
+       match Hashtbl.find_opt method_names key with
+       | Some mname ->
+         Hashtbl.fold (fun cls w acc -> (key.cs_func, mname, cls, w) :: acc) tbl acc
+       | None -> acc)
+    method_targets []
+
+(** Receiver-class distribution for a call site, heaviest first. *)
+let method_target_dist ~(func : int) ~(pc : int) : (int * int) list =
+  match Hashtbl.find_opt method_targets { cs_func = func; cs_pc = pc } with
+  | None -> []
+  | Some t ->
+    Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* --- dynamic call-graph edges (caller -> callee), for C3 sorting --- *)
+
+let call_edges : (int * int, int) Hashtbl.t = Hashtbl.create 256
+
+let record_call ~(caller : int) ~(callee : int) =
+  let k = (caller, callee) in
+  Hashtbl.replace call_edges k (1 + Option.value (Hashtbl.find_opt call_edges k) ~default:0)
+
+let call_graph () : ((int * int) * int) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) call_edges []
+
+(* --- per-function entry counts (hotness; drives compilation order) --- *)
+
+let func_entries : (int, int) Hashtbl.t = Hashtbl.create 128
+
+let record_func_entry (fid : int) =
+  Hashtbl.replace func_entries fid
+    (1 + Option.value (Hashtbl.find_opt func_entries fid) ~default:0)
+
+let func_entry_count (fid : int) =
+  Option.value (Hashtbl.find_opt func_entries fid) ~default:0
+
+let reset () =
+  counters := Array.make 1024 0;
+  n_counters := 0;
+  Hashtbl.reset method_targets;
+  Hashtbl.reset method_names;
+  Hashtbl.reset call_edges;
+  Hashtbl.reset func_entries

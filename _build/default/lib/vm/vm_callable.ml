@@ -1,0 +1,14 @@
+(** PHP string callables: resolves "fname" strings (as used by array_map,
+    array_filter, usorted) against the loaded unit and dispatches through
+    the engine, so callables run compiled code when hot. *)
+
+let install (u : Hhbc.Hunit.t) : unit =
+  Builtins.call_string_fn :=
+    (fun name args ->
+       match Hhbc.Hunit.find_func u name with
+       | Some fid -> !Interp.call_dispatch u fid args Runtime.Value.VNull
+       | None ->
+         (* a builtin used as a callable: borrow-call then release *)
+         let r = Builtins.call name args in
+         Array.iter Runtime.Heap.decref args;
+         r)

@@ -1,0 +1,1 @@
+lib/workloads/endpoints.ml: String

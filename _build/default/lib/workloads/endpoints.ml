@@ -1,0 +1,295 @@
+(** The workload suite: MiniPHP "endpoints" standing in for the paper's
+    production HTTP endpoints (§6: "thousands of requests from a selected
+    set of dozens of production HTTP endpoints").
+
+    The endpoints deliberately cover the behaviours the paper's
+    optimizations target: object-oriented code with getters/setters
+    (inlining, method dispatch), polymorphic call sites (guard relaxation,
+    inline caches), array-heavy code with value semantics (COW, packed
+    specialization), string/template building (refcounting, concat), and
+    numeric kernels (type specialization).  Every endpoint is deterministic
+    in its integer request argument, so differential testing across
+    execution modes is exact. *)
+
+type endpoint = {
+  ep_name : string;
+  ep_entry : string;      (** MiniPHP function: one int parameter *)
+  ep_weight : int;        (** share in the production request mix *)
+}
+
+(** The paper's running example (Fig. 2), verbatim. *)
+let avg_positive_src = {|
+function avgPositive($arr) {
+  $sum = 0;
+  $n = 0;
+  $size = count($arr);
+  for ($i = 0; $i < $size; $i++) {
+    $elem = $arr[$i];
+    if ($elem > 0) {
+      $sum = $sum + $elem;
+      $n++;
+    }
+  }
+  if ($n == 0) {
+    throw new Exception("no positive numbers");
+  }
+  return $sum / $n;
+}
+
+function ep_stats($req) {
+  $ints = [];
+  $dbls = [];
+  for ($i = 0; $i < 24; $i++) {
+    $ints[] = ($i * 7 + $req) % 23 - 5;
+    $dbls[] = ($i * 3 + $req) % 17 * 0.5 - 2.0;
+  }
+  $a = avgPositive($ints);
+  $b = avgPositive($dbls);
+  $bad = 0;
+  try { avgPositive([0 - 1, 0 - 2]); }
+  catch (Exception $e) { $bad = strlen($e->getMessage()); }
+  return (int)($a * 100) + (int)($b * 10) + $bad;
+}
+|}
+
+let newsfeed_src = {|
+class Story {
+  public $id = 0;
+  public $author = "";
+  public $score = 0;
+  public $tags = [];
+  function __construct($id, $author, $score) {
+    $this->id = $id;
+    $this->author = $author;
+    $this->score = $score;
+  }
+  function getScore() { return $this->score; }
+  function boost($k) { $this->score = $this->score + $k; }
+  function render() {
+    return "<story id=" . $this->id . " by=" . $this->author
+         . " score=" . $this->score . "/>";
+  }
+}
+
+function ep_newsfeed($req) {
+  $stories = [];
+  for ($i = 0; $i < 16; $i++) {
+    $s = new Story($req * 100 + $i, "user" . ($i % 5), ($i * 13 + $req) % 50);
+    if ($i % 3 == 0) { $s->boost(10); }
+    $stories[] = $s;
+  }
+  $total = 0;
+  $html = "";
+  foreach ($stories as $s) {
+    $total += $s->getScore();
+    if ($s->getScore() > 25) { $html .= $s->render(); }
+  }
+  return $total + strlen($html);
+}
+|}
+
+let shapes_src = {|
+interface Renderable { function area(); function name(); }
+class Sq implements Renderable {
+  public $s = 0;
+  function __construct($s) { $this->s = $s; }
+  function area() { return $this->s * $this->s; }
+  function name() { return "sq"; }
+}
+class Rc implements Renderable {
+  public $w = 0;
+  public $h = 0;
+  function __construct($w, $h) { $this->w = $w; $this->h = $h; }
+  function area() { return $this->w * $this->h; }
+  function name() { return "rc"; }
+}
+class Tri implements Renderable {
+  public $b = 0;
+  public $h = 0;
+  function __construct($b, $h) { $this->b = $b; $this->h = $h; }
+  function area() { return intdiv($this->b * $this->h, 2); }
+  function name() { return "tri"; }
+}
+
+function ep_shapes($req) {
+  $shapes = [];
+  for ($i = 0; $i < 18; $i++) {
+    $k = ($i + $req) % 3;
+    if ($k == 0) { $shapes[] = new Sq($i + 1); }
+    elseif ($k == 1) { $shapes[] = new Rc($i + 1, $i + 2); }
+    else { $shapes[] = new Tri($i + 1, $i + 3); }
+  }
+  $area = 0;
+  $names = "";
+  foreach ($shapes as $sh) {
+    $area += $sh->area();
+    $names .= $sh->name();
+  }
+  return $area + strlen($names);
+}
+|}
+
+let template_src = {|
+function esc($s) {
+  $out = "";
+  $n = strlen($s);
+  for ($i = 0; $i < $n; $i++) {
+    $c = substr($s, $i, 1);
+    if ($c == "<") { $out .= "&lt;"; }
+    elseif ($c == ">") { $out .= "&gt;"; }
+    else { $out .= $c; }
+  }
+  return $out;
+}
+
+function ep_template($req) {
+  $rows = "";
+  for ($i = 0; $i < 10; $i++) {
+    $cell = "value<" . ($req % 7) . ">" . $i;
+    $rows .= "<td>" . esc($cell) . "</td>";
+  }
+  $page = "<table>" . $rows . "</table>";
+  return strlen($page) + strpos($page, "&lt;");
+}
+|}
+
+let orm_src = {|
+class Record {
+  public $fields = [];
+  function set($k, $v) { $this->fields[$k] = $v; return $this; }
+  function get($k) { return $this->fields[$k]; }
+  function has($k) { return array_key_exists($k, $this->fields); }
+}
+class UserRec extends Record {
+  function displayName() {
+    if ($this->has("nick")) { return $this->get("nick"); }
+    return $this->get("name");
+  }
+}
+
+function ep_orm($req) {
+  $users = [];
+  for ($i = 0; $i < 12; $i++) {
+    $u = new UserRec();
+    $u->set("id", $req * 10 + $i);
+    $u->set("name", "user_" . $i);
+    if ($i % 4 == 0) { $u->set("nick", "nick_" . $i); }
+    $u->set("karma", $i * $i);
+    $users[] = $u;
+  }
+  $out = 0;
+  foreach ($users as $u) {
+    $out += strlen($u->displayName()) + $u->get("karma");
+  }
+  return $out;
+}
+|}
+
+let numeric_src = {|
+function ep_numeric($req) {
+  $x = 1.0 + ($req % 10) * 0.1;
+  $acc = 0.0;
+  for ($i = 0; $i < 60; $i++) {
+    $acc = $acc + $x * $i - ($i % 7);
+    if ($acc > 1000.0) { $acc = $acc / 2.0; }
+  }
+  $s = 0;
+  for ($j = 1; $j <= 40; $j++) {
+    $s += ($j * $j) % 13;
+  }
+  return (int)$acc + $s;
+}
+|}
+
+let wordstats_src = {|
+function ep_wordstats($req) {
+  $text = "the quick brown fox jumps over the lazy dog again and again " . $req;
+  $words = explode(" ", $text);
+  $freq = [];
+  foreach ($words as $w) {
+    if (array_key_exists($w, $freq)) { $freq[$w] = $freq[$w] + 1; }
+    else { $freq[$w] = 1; }
+  }
+  $uniq = count($freq);
+  $max = 0;
+  foreach ($freq as $w => $n) {
+    if ($n > $max) { $max = $n; }
+  }
+  return $uniq * 100 + $max + strlen(implode("", array_keys($freq)));
+}
+|}
+
+let cartcheckout_src = {|
+class Item {
+  public $name = "";
+  public $price = 0;
+  public $qty = 0;
+  function __construct($name, $price, $qty) {
+    $this->name = $name;
+    $this->price = $price;
+    $this->qty = $qty;
+  }
+  function subtotal() { return $this->price * $this->qty; }
+}
+class Cart {
+  public $items = [];
+  public $coupon = 0;
+  function add($item) { $this->items[] = $item; }
+  function total() {
+    $t = 0;
+    foreach ($this->items as $it) { $t += $it->subtotal(); }
+    if ($this->coupon > 0) { $t = $t - intdiv($t * $this->coupon, 100); }
+    return $t;
+  }
+}
+
+function ep_checkout($req) {
+  $cart = new Cart();
+  for ($i = 0; $i < 9; $i++) {
+    $cart->add(new Item("item" . $i, 100 + $i * 17, 1 + ($req + $i) % 3));
+  }
+  if ($req % 2 == 0) { $cart->coupon = 10; }
+  $t1 = $cart->total();
+  $cart->add(new Item("extra", 999, 1));
+  return $t1 + $cart->total();
+}
+|}
+
+let sort_search_src = {|
+function ep_sortsearch($req) {
+  $a = [];
+  for ($i = 0; $i < 30; $i++) { $a[] = ($i * 37 + $req * 11) % 100; }
+  $sorted = sorted($a);
+  $needle = ($req * 7) % 100;
+  $lo = 0;
+  $hi = count($sorted) - 1;
+  $found = 0 - 1;
+  while ($lo <= $hi) {
+    $mid = intdiv($lo + $hi, 2);
+    $v = $sorted[$mid];
+    if ($v == $needle) { $found = $mid; break; }
+    if ($v < $needle) { $lo = $mid + 1; }
+    else { $hi = $mid - 1; }
+  }
+  return $found + $sorted[0] + $sorted[29] + array_sum($a) % 1000;
+}
+|}
+
+(** Full program source: all endpoints concatenated. *)
+let source : string =
+  String.concat "\n"
+    [ avg_positive_src; newsfeed_src; shapes_src; template_src; orm_src;
+      numeric_src; wordstats_src; cartcheckout_src; sort_search_src ]
+
+(** The endpoint registry with production-mix weights (heavier = hotter). *)
+let endpoints : endpoint list = [
+  { ep_name = "newsfeed"; ep_entry = "ep_newsfeed"; ep_weight = 30 };
+  { ep_name = "shapes"; ep_entry = "ep_shapes"; ep_weight = 15 };
+  { ep_name = "orm"; ep_entry = "ep_orm"; ep_weight = 15 };
+  { ep_name = "template"; ep_entry = "ep_template"; ep_weight = 12 };
+  { ep_name = "checkout"; ep_entry = "ep_checkout"; ep_weight = 10 };
+  { ep_name = "stats"; ep_entry = "ep_stats"; ep_weight = 8 };
+  { ep_name = "numeric"; ep_entry = "ep_numeric"; ep_weight = 5 };
+  { ep_name = "wordstats"; ep_entry = "ep_wordstats"; ep_weight = 3 };
+  { ep_name = "sortsearch"; ep_entry = "ep_sortsearch"; ep_weight = 2 };
+]

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Core Fun Hashtbl Hhbc Hhir Hhir_opt List Option Printf Runtime Simcpu Vasm

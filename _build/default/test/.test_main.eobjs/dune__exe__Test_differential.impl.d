@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Buffer Core Hhbbc List Printexc Printf QCheck QCheck_alcotest Random Runtime String Vm

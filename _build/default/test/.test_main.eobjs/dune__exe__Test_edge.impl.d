@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Core Hhbbc List Printf Runtime Server String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast_opt Hhbc Lexer List Mphp Parser String

@@ -1,0 +1,1 @@
+test/test_hhbbc.ml: Alcotest Array Hhbbc Hhbc List Option QCheck QCheck_alcotest Runtime Test Vm

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Gen Printf QCheck QCheck_alcotest Runtime String Test Vm

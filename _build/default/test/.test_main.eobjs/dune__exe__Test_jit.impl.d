@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Core Hhbbc List Printf Runtime Vm

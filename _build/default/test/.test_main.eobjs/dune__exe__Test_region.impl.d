@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Core Hhbbc Hhbc List Option Printf Region Runtime Vm

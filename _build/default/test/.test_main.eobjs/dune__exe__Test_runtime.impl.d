@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Heap List Option Runtime Value Varray Vclass

@@ -1,0 +1,174 @@
+(** Lexer / parser / AST-folding / emitter unit tests. *)
+
+open Mphp
+
+let t name f = Alcotest.test_case name `Quick f
+
+let lex_kinds src =
+  let lx = Lexer.lex src in
+  Array.to_list lx.toks
+
+let lexer_tests = [
+  t "numbers" (fun () ->
+      match lex_kinds "1 23 4.5 1e3 .5" with
+      | [ TInt 1; TInt 23; TDbl 4.5; TDbl 1000.; TDbl 0.5; TEof ] -> ()
+      | _ -> Alcotest.fail "bad number lexing");
+  t "strings and escapes" (fun () ->
+      match lex_kinds {| "a\nb" 'c\'d' |} with
+      | [ TStr "a\nb"; TStr "c'd"; TEof ] -> ()
+      | _ -> Alcotest.fail "bad string lexing");
+  t "variables and idents" (fun () ->
+      match lex_kinds "$foo bar $_x9" with
+      | [ TVar "foo"; TIdent "bar"; TVar "_x9"; TEof ] -> ()
+      | _ -> Alcotest.fail "bad var lexing");
+  t "operators longest match" (fun () ->
+      match lex_kinds "=== == = <= <" with
+      | [ TPunct "==="; TPunct "=="; TPunct "="; TPunct "<="; TPunct "<"; TEof ] -> ()
+      | _ -> Alcotest.fail "bad operator lexing");
+  t "comments" (fun () ->
+      match lex_kinds "1 // line\n2 /* block\nmore */ 3 # hash\n4" with
+      | [ TInt 1; TInt 2; TInt 3; TInt 4; TEof ] -> ()
+      | _ -> Alcotest.fail "bad comment handling");
+  t "line numbers" (fun () ->
+      let lx = Lexer.lex "1\n2\n\n3" in
+      Alcotest.(check (list int)) "lines" [ 1; 2; 4; 4 ]
+        (Array.to_list lx.lines));
+]
+
+let parse_fn src =
+  match Parser.parse_program ("function f() { " ^ src ^ " }") with
+  | [ DFun f ] -> f.f_body
+  | _ -> Alcotest.fail "expected one function"
+
+let parser_tests = [
+  t "precedence mul over add" (fun () ->
+      match parse_fn "return 1 + 2 * 3;" with
+      | [ SReturn (Some (Binop (Add, Int 1, Binop (Mul, Int 2, Int 3)))) ] -> ()
+      | _ -> Alcotest.fail "precedence wrong");
+  t "left associativity" (fun () ->
+      match parse_fn "return 1 - 2 - 3;" with
+      | [ SReturn (Some (Binop (Sub, Binop (Sub, Int 1, Int 2), Int 3))) ] -> ()
+      | _ -> Alcotest.fail "associativity wrong");
+  t "assignment chains right" (fun () ->
+      match parse_fn "$a = $b = 1;" with
+      | [ SExpr (Assign (LVar "a", Assign (LVar "b", Int 1))) ] -> ()
+      | _ -> Alcotest.fail "assign chain wrong");
+  t "postfix chains" (fun () ->
+      match parse_fn "return $a[0]->m(1)->p;" with
+      | [ SReturn (Some (Prop (MethodCall (Index (Var "a", Int 0), "m", [ Int 1 ]), "p"))) ] -> ()
+      | _ -> Alcotest.fail "postfix chain wrong");
+  t "append lvalue" (fun () ->
+      match parse_fn "$a[] = 1;" with
+      | [ SExpr (Assign (LIndex (LVar "a", None), Int 1)) ] -> ()
+      | _ -> Alcotest.fail "append lval wrong");
+  t "array literal with keys" (fun () ->
+      match parse_fn "$a = [1, \"k\" => 2,];" with
+      | [ SExpr (Assign (LVar "a", ArrayLit [ (None, Int 1); (Some (Str "k"), Int 2) ])) ] -> ()
+      | _ -> Alcotest.fail "array literal wrong");
+  t "class with hints" (fun () ->
+      match Parser.parse_program
+              "class C extends B implements I, J { public $p = 3; function m(int $x, ?C $y = null) : int { return $x; } }"
+      with
+      | [ DClass c ] ->
+        Alcotest.(check string) "name" "C" c.c_name;
+        Alcotest.(check (option string)) "parent" (Some "B") c.c_parent;
+        Alcotest.(check (list string)) "ifaces" [ "I"; "J" ] c.c_implements;
+        (match c.c_methods with
+         | [ { f_params = [ p1; p2 ]; _ } ] ->
+           Alcotest.(check bool) "int hint" true (p1.p_hint = Some Hint_int);
+           Alcotest.(check bool) "nullable class hint" true
+             (p2.p_hint = Some (Hint_nullable (Hint_class "C")));
+           Alcotest.(check bool) "default null" true (p2.p_default = Some Null)
+         | _ -> Alcotest.fail "methods wrong")
+      | _ -> Alcotest.fail "class parse failed");
+  t "php tag stripped" (fun () ->
+      match Parser.parse_program "<?php function f() { return 1; }" with
+      | [ DFun _ ] -> ()
+      | _ -> Alcotest.fail "php tag not stripped");
+  t "parse error raises" (fun () ->
+      (try
+         ignore (Parser.parse_program "function f( { }");
+         Alcotest.fail "expected parse error"
+       with Parser.Parse_error _ -> ()));
+]
+
+let fold_tests = [
+  t "constant arithmetic folds" (fun () ->
+      match Ast_opt.fold_expr (Binop (Add, Int 2, Binop (Mul, Int 3, Int 4))) with
+      | Int 14 -> ()
+      | _ -> Alcotest.fail "fold failed");
+  t "string concat folds" (fun () ->
+      match Ast_opt.fold_expr (Binop (Concat, Str "a", Binop (Concat, Str "b", Int 3))) with
+      | Str "ab3" -> ()
+      | _ -> Alcotest.fail "concat fold failed");
+  t "if with constant condition eliminated" (fun () ->
+      match Ast_opt.fold_stmt (SIf (Binop (Lt, Int 1, Int 2), [ SReturn (Some (Int 1)) ], [ SReturn (Some (Int 2)) ])) with
+      | [ SReturn (Some (Int 1)) ] -> ()
+      | _ -> Alcotest.fail "if fold failed");
+  t "while false removed" (fun () ->
+      match Ast_opt.fold_stmt (SWhile (Bool false, [ SBreak ])) with
+      | [] -> ()
+      | _ -> Alcotest.fail "dead while kept");
+  t "division by zero not folded" (fun () ->
+      match Ast_opt.fold_expr (Binop (Div, Int 1, Int 0)) with
+      | Binop (Div, Int 1, Int 0) -> ()
+      | _ -> Alcotest.fail "folded div by zero");
+  t "inexact division not folded to int" (fun () ->
+      match Ast_opt.fold_expr (Binop (Div, Int 7, Int 2)) with
+      | Binop (Div, Int 7, Int 2) -> ()
+      | _ -> Alcotest.fail "folded inexact division");
+]
+
+let emit_tests = [
+  t "jump targets resolve" (fun () ->
+      let u = Hhbc.Emit.compile
+          "function f($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s += $i; } return $s; }"
+      in
+      let f = Hhbc.Hunit.func u 0 in
+      Array.iter
+        (fun i ->
+           List.iter
+             (fun t ->
+                Alcotest.(check bool) "target in range" true
+                  (t >= 0 && t < Array.length f.fn_body))
+             (Hhbc.Instr.branch_targets i))
+        f.fn_body);
+  t "function ends with RetC" (fun () ->
+      let u = Hhbc.Emit.compile "function f() { echo 1; }" in
+      let f = Hhbc.Hunit.func u 0 in
+      let n = Array.length f.fn_body in
+      Alcotest.(check bool) "last is RetC" true (f.fn_body.(n - 1) = Hhbc.Instr.RetC));
+  t "params become first locals" (fun () ->
+      let u = Hhbc.Emit.compile "function f($a, $b) { $c = $a + $b; return $c; }" in
+      let f = Hhbc.Hunit.func u 0 in
+      Alcotest.(check string) "local 0" "a" f.fn_local_names.(0);
+      Alcotest.(check string) "local 1" "b" f.fn_local_names.(1);
+      Alcotest.(check string) "local 2" "c" f.fn_local_names.(2);
+      Alcotest.(check int) "nlocals" 3 f.fn_num_locals);
+  t "exception table regions" (fun () ->
+      let u = Hhbc.Emit.compile
+          "function f() { try { echo 1; } catch (Exception $e) { echo 2; } }"
+      in
+      let f = Hhbc.Hunit.func u 0 in
+      match f.fn_ex_table with
+      | [ e ] ->
+        Alcotest.(check bool) "region ordered" true (e.ex_start < e.ex_end);
+        Alcotest.(check bool) "handler after region" true (e.ex_handler >= e.ex_end);
+        Alcotest.(check string) "class" "Exception" e.ex_class
+      | _ -> Alcotest.fail "expected one entry");
+  t "methods get qualified names" (fun () ->
+      let u = Hhbc.Emit.compile "class C { function m() { return 1; } }" in
+      Alcotest.(check bool) "found" true
+        (Hhbc.Hunit.find_func u "C::m" <> None));
+  t "disassembler renders" (fun () ->
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      let u = Hhbc.Emit.compile "function f($x) { return $x + 1; }" in
+      let s = Hhbc.Disasm.func_to_string (Hhbc.Hunit.func u 0) in
+      Alcotest.(check bool) "mentions Add" true (contains s "Add"));
+]
+
+let suite = ("frontend", lexer_tests @ parser_tests @ fold_tests @ emit_tests)

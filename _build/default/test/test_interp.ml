@@ -1,0 +1,375 @@
+(** Interpreter semantics tests: each case runs a MiniPHP program, compares
+    the captured output, and asserts a clean heap audit (no leaks). *)
+
+let run_prog ?(entry = "main") ?(args = []) (src : string) : string =
+  let u = Vm.Loader.load src in
+  let r, out = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u entry args) in
+  Runtime.Heap.decref r;
+  out
+
+let check_leaks () =
+  let live = Runtime.Heap.live_allocations () in
+  Alcotest.(check (list string)) "no leaked heap objects" [] live
+
+let case name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let out = run_prog src in
+      Alcotest.(check string) "output" expected out;
+      check_leaks ())
+
+let tests = [
+  case "echo int" {| function main() { echo 42; } |} "42";
+  case "echo string" {| function main() { echo "hello"; } |} "hello";
+  case "arith precedence" {| function main() { echo 2 + 3 * 4; } |} "14";
+  case "division exact" {| function main() { echo 10 / 2; } |} "5";
+  case "division inexact" {| function main() { echo 7 / 2; } |} "3.5";
+  case "mod" {| function main() { echo 17 % 5; } |} "2";
+  case "concat" {| function main() { echo "a" . "b" . 3; } |} "ab3";
+  case "double printing" {| function main() { echo 1.5 + 2.5; } |} "4";
+  case "bool to string" {| function main() { echo true; echo false; echo "|"; } |} "1|";
+  case "variables" {| function main() { $x = 10; $y = $x + 5; echo $y; } |} "15";
+  case "compound assign" {| function main() { $x = 1; $x += 4; $x *= 3; echo $x; } |} "15";
+  case "string append" {| function main() { $s = "a"; $s .= "bc"; echo $s; } |} "abc";
+  case "incdec" {| function main() { $i = 5; echo $i++; echo $i; echo ++$i; echo --$i; echo $i--; echo $i; } |}
+    "567665";
+  case "if else" {| function main() { $x = 3; if ($x > 2) { echo "big"; } else { echo "small"; } } |} "big";
+  case "elseif chain" {|
+    function classify($n) {
+      if ($n < 0) { return "neg"; }
+      elseif ($n == 0) { return "zero"; }
+      else { return "pos"; }
+    }
+    function main() { echo classify(0-5), classify(0), classify(7); }
+  |} "negzeropos";
+  case "while loop" {| function main() { $i = 0; $s = 0; while ($i < 5) { $s += $i; $i++; } echo $s; } |} "10";
+  case "for loop" {| function main() { $s = 0; for ($i = 0; $i < 10; $i++) { $s += $i; } echo $s; } |} "45";
+  case "do while" {| function main() { $i = 10; do { echo $i; $i++; } while ($i < 10); } |} "10";
+  case "break continue" {|
+    function main() {
+      for ($i = 0; $i < 10; $i++) {
+        if ($i == 2) { continue; }
+        if ($i == 5) { break; }
+        echo $i;
+      }
+    }
+  |} "0134";
+  case "ternary" {| function main() { echo 1 < 2 ? "y" : "n"; } |} "y";
+  case "elvis" {| function main() { $x = 0; echo $x ?: "dflt"; } |} "dflt";
+  case "logical and/or shortcircuit" {|
+    function t() { echo "t"; return true; }
+    function f() { echo "f"; return false; }
+    function main() {
+      $a = f() && t();   # prints f only
+      $b = t() || f();   # prints t only
+      echo $a ? "1" : "0";
+      echo $b ? "1" : "0";
+    }
+  |} "ft01";
+  case "functions and recursion" {|
+    function fib($n) { if ($n < 2) { return $n; } return fib($n - 1) + fib($n - 2); }
+    function main() { echo fib(10); }
+  |} "55";
+  case "default args" {|
+    function greet($name, $greeting = "hi") { return $greeting . " " . $name; }
+    function main() { echo greet("bob"), "/", greet("ann", "yo"); }
+  |} "hi bob/yo ann";
+  case "array literal and index" {|
+    function main() { $a = [10, 20, 30]; echo $a[1]; echo count($a); }
+  |} "203";
+  case "array keyed" {|
+    function main() { $a = ["x" => 1, "y" => 2]; echo $a["y"], $a["x"]; }
+  |} "21";
+  case "array append" {|
+    function main() { $a = []; $a[] = 5; $a[] = 6; echo $a[0], $a[1], count($a); }
+  |} "562";
+  case "array set" {|
+    function main() { $a = [1, 2, 3]; $a[1] = 99; echo $a[0], $a[1], $a[2]; }
+  |} "1993";
+  case "array cow value semantics" {|
+    function main() {
+      $a = [1, 2, 3];
+      $b = $a;
+      $b[0] = 99;
+      echo $a[0], "/", $b[0];
+    }
+  |} "1/99";
+  case "array passed by value" {|
+    function mutate($arr) { $arr[0] = 42; return $arr[0]; }
+    function main() { $a = [7]; echo mutate($a), "/", $a[0]; }
+  |} "42/7";
+  case "nested array write" {|
+    function main() {
+      $m = [[1, 2], [3, 4]];
+      $m[1][0] = 99;
+      echo $m[1][0], $m[0][0], $m[1][1];
+    }
+  |} "9914";
+  case "foreach values" {|
+    function main() { $s = 0; foreach ([1, 2, 3, 4] as $v) { $s += $v; } echo $s; }
+  |} "10";
+  case "foreach key value" {|
+    function main() {
+      foreach (["a" => 1, "b" => 2] as $k => $v) { echo $k, $v; }
+    }
+  |} "a1b2";
+  case "foreach cow isolation" {|
+    function main() {
+      $a = [1, 2, 3];
+      foreach ($a as $v) { $a[] = $v; echo $v; }
+      echo "/", count($a);
+    }
+  |} "123/6";
+  case "classes basic" {|
+    class Point {
+      public $x = 0;
+      public $y = 0;
+      function __construct($x, $y) { $this->x = $x; $this->y = $y; }
+      function norm2() { return $this->x * $this->x + $this->y * $this->y; }
+    }
+    function main() { $p = new Point(3, 4); echo $p->norm2(); echo $p->x; }
+  |} "253";
+  case "inheritance and override" {|
+    class Animal {
+      function speak() { return "..."; }
+      function describe() { return "I say " . $this->speak(); }
+    }
+    class Dog extends Animal { function speak() { return "woof"; } }
+    function main() { $d = new Dog(); echo $d->describe(); }
+  |} "I say woof";
+  case "instanceof" {|
+    interface Shape { function area(); }
+    class Circle implements Shape { function area() { return 3; } }
+    class Other {}
+    function main() {
+      $c = new Circle();
+      $o = new Other();
+      echo $c instanceof Circle ? "1" : "0";
+      echo $c instanceof Shape ? "1" : "0";
+      echo $o instanceof Shape ? "1" : "0";
+    }
+  |} "110";
+  case "object reference semantics" {|
+    class Box { public $v = 0; }
+    function bump($b) { $b->v = $b->v + 1; }
+    function main() { $b = new Box(); bump($b); bump($b); echo $b->v; }
+  |} "2";
+  case "destructor timing" {|
+    class D {
+      public $name = "";
+      function __construct($n) { $this->name = $n; }
+      function __destruct() { echo "~", $this->name; }
+    }
+    function main() {
+      $a = new D("a");
+      $a = null;        # destructor runs here, before "mid"
+      echo "mid";
+      $b = new D("b");
+      echo "end";
+    }                    # b destroyed at frame teardown
+  |} "~amidend~b";
+  case "exceptions" {|
+    function risky($n) {
+      if ($n > 2) { throw new Exception("too big"); }
+      return $n * 10;
+    }
+    function main() {
+      try {
+        echo risky(1);
+        echo risky(5);
+        echo "unreached";
+      } catch (Exception $e) {
+        echo "caught:", $e->getMessage();
+      }
+    }
+  |} "10caught:too big";
+  case "exception across frames" {|
+    function lvl3() { throw new RuntimeException("deep"); }
+    function lvl2() { $x = [1,2,3]; lvl3(); return $x; }
+    function lvl1() { return lvl2(); }
+    function main() {
+      try { lvl1(); } catch (RuntimeException $e) { echo "got ", $e->getMessage(); }
+    }
+  |} "got deep";
+  case "catch class selection" {|
+    function main() {
+      try { throw new InvalidArgumentException("iae"); }
+      catch (RuntimeException $e) { echo "wrong"; }
+      catch (InvalidArgumentException $e) { echo "right"; }
+      catch (Exception $e) { echo "late"; }
+    }
+  |} "right";
+  case "switch fallthrough" {|
+    function main() {
+      $x = 2;
+      switch ($x) {
+        case 1: echo "one";
+        case 2: echo "two";
+        case 3: echo "three"; break;
+        default: echo "many";
+      }
+    }
+  |} "twothree";
+  case "switch default" {|
+    function main() {
+      switch (99) { case 1: echo "a"; break; default: echo "dflt"; }
+    }
+  |} "dflt";
+  case "builtins strings" {|
+    function main() {
+      echo strlen("hello"), strtoupper("ab"), substr("abcdef", 2, 3), strrev("xyz");
+    }
+  |} "5ABcdezyx";
+  case "builtins arrays" {|
+    function main() {
+      $a = [3, 1, 2];
+      echo implode(",", sorted($a));
+      echo "/", array_sum($a);
+      echo "/", in_array(2, $a) ? "y" : "n";
+    }
+  |} "1,2,3/6/y";
+  case "isset unset" {|
+    function main() {
+      $x = 1;
+      echo isset($x) ? "1" : "0";
+      unset($x);
+      echo isset($x) ? "1" : "0";
+      $a = ["k" => null];
+      echo isset($a["k"]) ? "1" : "0";
+      echo isset($a["missing"]) ? "1" : "0";
+    }
+  |} "1000";
+  case "casts" {|
+    function main() {
+      echo (int)"42" + 1, "/", (string)15 . "x", "/", (float)2, "/", (bool)0 ? "t" : "f";
+    }
+  |} "43/15x/2/f";
+  case "strict equality" {|
+    function main() {
+      echo 1 == 1.0 ? "1" : "0";
+      echo 1 === 1.0 ? "1" : "0";
+      echo "a" == "a" ? "1" : "0";
+      echo [1,2] == [1,2] ? "1" : "0";
+      echo [1,2] === [1,2] ? "1" : "0";
+    }
+  |} "10111";
+  case "type hints enforced ok" {|
+    function f(int $x, string $s) { return $s . $x; }
+    function main() { echo f(5, "v"); }
+  |} "v5";
+  case "nullable hint" {|
+    function f(?int $x) { return $x === null ? "null" : "int"; }
+    function main() { echo f(null), f(3); }
+  |} "nullint";
+  case "string interpolation" {|
+    function main() {
+      $name = "world";
+      $n = 42;
+      echo "hello $name, n=$n!";
+      echo 'literal $name';
+    }
+  |} "hello world, n=42!literal $name";
+  case "interpolation under jit types" {|
+    function main() {
+      $total = 0.0;
+      for ($i = 0; $i < 3; $i++) {
+        $total = $total + $i * 1.5;
+        echo "i=$i total=$total;";
+      }
+    }
+  |} "i=0 total=0;i=1 total=1.5;i=2 total=4.5;";
+  case "sprintf subset" {|
+    function main() {
+      echo sprintf("i=%d s=%s f=%.2f x=%x %%", 42, "hi", 3.14159, 255);
+      echo "|", sprintf("%05d", 42), "|", sprintf("%b", 10);
+    }
+  |} "i=42 s=hi f=3.14 x=ff %|00042|1010";
+  case "range and slices" {|
+    function main() {
+      echo implode(",", range(1, 5));
+      echo "/", implode(",", range(5, 1));
+      echo "/", implode(",", array_slice(range(0, 9), 2, 3));
+      echo "/", implode(",", array_slice(range(0, 9), 0-3));
+    }
+  |} "1,2,3,4,5/5,4,3,2,1/2,3,4/7,8,9";
+  case "array_merge semantics" {|
+    function main() {
+      $a = ["k" => 1, 10, 20];
+      $b = ["k" => 9, 30];
+      $m = array_merge($a, $b);
+      echo $m["k"], "/", implode(",", array_values($m)), "/", count($m);
+    }
+  |} "9/9,10,20,30/4";
+  case "callables: array_map / array_filter / usorted" {|
+    function double($x) { return $x * 2; }
+    function is_even($x) { return $x % 2 == 0; }
+    function desc($a, $b) { return $b - $a; }
+    function main() {
+      $a = [3, 1, 4, 1, 5];
+      echo implode(",", array_map("double", $a));
+      echo "/", implode(",", array_values(array_filter($a, "is_even")));
+      echo "/", implode(",", usorted($a, "desc"));
+      echo "/", implode(",", array_map("strrev", ["ab", "cd"]));
+    }
+  |} "6,2,8,2,10/4/5,4,3,1,1/ba,dc";
+  case "string helpers" {|
+    function main() {
+      echo str_pad("7", 3, "0"), "|", ucfirst("hello"), "|";
+      echo str_contains("haystack", "stack") ? "y" : "n";
+      echo "|", implode("-", str_split("abcdef", 2));
+    }
+  |} "700|Hello|y|ab-cd-ef";
+  case "paper running example avgPositive" {|
+    function avgPositive($arr) {
+      $sum = 0;
+      $n = 0;
+      $size = count($arr);
+      for ($i = 0; $i < $size; $i++) {
+        $elem = $arr[$i];
+        if ($elem > 0) {
+          $sum = $sum + $elem;
+          $n++;
+        }
+      }
+      if ($n == 0) {
+        throw new Exception("no positive numbers");
+      }
+      return $sum / $n;
+    }
+    function main() {
+      echo avgPositive([1, 2, 3, 0-6]);
+      echo "/";
+      echo avgPositive([1.5, 2.5, 0.0]);
+      echo "/";
+      try { avgPositive([0-1, 0-2]); } catch (Exception $e) { echo $e->getMessage(); }
+    }
+  |} "2/2/no positive numbers";
+]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"int arithmetic matches OCaml" ~count:200
+         (pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+         (fun (a, b) ->
+            let src = Printf.sprintf
+                {| function main() { echo (%d + %d) . "," . (%d * %d) . "," . (%d - %d); } |}
+                a b a b a b
+            in
+            let out = run_prog src in
+            out = Printf.sprintf "%d,%d,%d" (a + b) (a * b) (a - b)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"string concat/length matches OCaml" ~count:100
+         (pair (string_printable_of_size (Gen.int_range 0 20))
+            (string_printable_of_size (Gen.int_range 0 20)))
+         (fun (a, b) ->
+            (* avoid characters the lexer treats specially inside quotes *)
+            let clean s = String.map (fun c -> if c = '"' || c = '\\' || c = '$' then '_' else c) s in
+            let a = clean a and b = clean b in
+            let src = Printf.sprintf
+                {| function main() { $s = "%s" . "%s"; echo strlen($s), ":", $s; } |} a b
+            in
+            run_prog src = Printf.sprintf "%d:%s%s" (String.length a + String.length b) a b));
+  ]
+
+let suite = ("interp", tests @ qcheck_tests)

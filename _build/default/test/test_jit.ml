@@ -1,0 +1,304 @@
+(** End-to-end JIT tests: every program runs under the interpreter and under
+    each JIT mode (Tracelet / ProfileOnly / Region, the latter both before
+    and after retranslate-all); outputs must be identical and the heap audit
+    clean.  This is the master differential suite covering the whole
+    compiler pipeline. *)
+
+let run_mode (mode : Core.Jit_options.mode) ?(retranslate = false)
+    ?(tweak = fun (_ : Core.Jit_options.t) -> ()) (src : string) : string =
+  let u = Vm.Loader.load src in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.mode <- mode;
+  tweak opts;
+  let eng = Core.Engine.install ~opts u in
+  let call () =
+    let r, out = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+    Runtime.Heap.decref r;
+    out
+  in
+  let out1 = call () in
+  if retranslate then begin
+    ignore (Core.Engine.retranslate_all eng);
+    let out2 = call () in
+    Alcotest.(check string) "same output after retranslate-all" out1 out2;
+    (* run once more to exercise optimized code steadily *)
+    let out3 = call () in
+    Alcotest.(check string) "stable optimized output" out1 out3
+  end else begin
+    (* warm: run twice so translations get reused *)
+    let out2 = call () in
+    Alcotest.(check string) "same output on reuse" out1 out2
+  end;
+  let live = Runtime.Heap.live_allocations () in
+  Alcotest.(check (list string)) "no leaks" [] live;
+  out1
+
+let differential name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let expected = run_mode Core.Jit_options.Interp src in
+      let tracelet = run_mode Core.Jit_options.Tracelet src in
+      Alcotest.(check string) "tracelet == interp" expected tracelet;
+      let profile = run_mode Core.Jit_options.ProfileOnly src in
+      Alcotest.(check string) "profile == interp" expected profile;
+      let region = run_mode Core.Jit_options.Region ~retranslate:true src in
+      Alcotest.(check string) "region == interp" expected region)
+
+let programs = [
+  ("arith loop", {|
+    function main() {
+      $s = 0;
+      for ($i = 0; $i < 50; $i++) { $s += $i * 3 - 1; }
+      echo $s;
+    } |});
+  ("float mix", {|
+    function main() {
+      $x = 1.5;
+      for ($i = 0; $i < 20; $i++) { $x = $x * 1.1 + 0.3; }
+      echo (int)$x;
+    } |});
+  ("string building", {|
+    function main() {
+      $s = "";
+      for ($i = 0; $i < 10; $i++) { $s = $s . $i . ","; }
+      echo strlen($s), ":", $s;
+    } |});
+  ("paper avgPositive int and double", {|
+    function avgPositive($arr) {
+      $sum = 0;
+      $n = 0;
+      $size = count($arr);
+      for ($i = 0; $i < $size; $i++) {
+        $elem = $arr[$i];
+        if ($elem > 0) { $sum = $sum + $elem; $n++; }
+      }
+      if ($n == 0) { throw new Exception("no positive numbers"); }
+      return $sum / $n;
+    }
+    function main() {
+      echo avgPositive([1, 2, 3, 4, 0 - 10]);
+      echo "/";
+      echo avgPositive([0.5, 1.5, 2.5]);
+      echo "/";
+      try { echo avgPositive([0 - 1]); }
+      catch (Exception $e) { echo "E:", $e->getMessage(); }
+    } |});
+  ("function calls", {|
+    function add($a, $b) { return $a + $b; }
+    function apply_twice($x) { return add(add($x, 1), add($x, 2)); }
+    function main() {
+      $t = 0;
+      for ($i = 0; $i < 25; $i++) { $t = add($t, apply_twice($i)); }
+      echo $t;
+    } |});
+  ("recursion fib", {|
+    function fib($n) { if ($n < 2) { return $n; } return fib($n - 1) + fib($n - 2); }
+    function main() { echo fib(15); }
+  |});
+  ("objects getters setters", {|
+    class Point {
+      public $x = 0;
+      public $y = 0;
+      function __construct($x, $y) { $this->x = $x; $this->y = $y; }
+      function getX() { return $this->x; }
+      function getY() { return $this->y; }
+      function scale($f) { $this->x = $this->x * $f; $this->y = $this->y * $f; }
+    }
+    function main() {
+      $t = 0;
+      for ($i = 0; $i < 20; $i++) {
+        $p = new Point($i, $i + 1);
+        $p->scale(2);
+        $t += $p->getX() + $p->getY();
+      }
+      echo $t;
+    } |});
+  ("polymorphic dispatch", {|
+    interface Shape { function area(); }
+    class Square implements Shape {
+      public $s = 0;
+      function __construct($s) { $this->s = $s; }
+      function area() { return $this->s * $this->s; }
+    }
+    class Rect implements Shape {
+      public $w = 0;
+      public $h = 0;
+      function __construct($w, $h) { $this->w = $w; $this->h = $h; }
+      function area() { return $this->w * $this->h; }
+    }
+    function main() {
+      $shapes = [];
+      for ($i = 0; $i < 10; $i++) {
+        if ($i % 2 == 0) { $shapes[] = new Square($i); }
+        else { $shapes[] = new Rect($i, $i + 1); }
+      }
+      $t = 0;
+      foreach ($shapes as $sh) { $t += $sh->area(); }
+      echo $t;
+    } |});
+  ("arrays cow heavy", {|
+    function main() {
+      $base = [1, 2, 3, 4, 5];
+      $t = 0;
+      for ($i = 0; $i < 15; $i++) {
+        $copy = $base;
+        $copy[$i % 5] = $i * 100;
+        $t += $copy[$i % 5] + $base[$i % 5];
+      }
+      echo $t, "/", implode(",", $base);
+    } |});
+  ("keyed arrays", {|
+    function main() {
+      $m = [];
+      for ($i = 0; $i < 12; $i++) { $m["k" . $i] = $i * $i; }
+      $t = 0;
+      foreach ($m as $k => $v) { $t += $v + strlen($k); }
+      echo $t, "/", count($m);
+    } |});
+  ("destructors under jit", {|
+    class Tracker {
+      public $id = 0;
+      function __construct($id) { $this->id = $id; }
+      function __destruct() { echo "~", $this->id; }
+    }
+    function work($i) {
+      $t = new Tracker($i);
+      return $i * 2;
+    }
+    function main() {
+      $s = 0;
+      for ($i = 0; $i < 5; $i++) { $s += work($i); }
+      echo "=", $s;
+    } |});
+  ("exceptions through jit frames", {|
+    function risky($n) {
+      if ($n % 7 == 3) { throw new RuntimeException("boom" . $n); }
+      return $n;
+    }
+    function main() {
+      $t = 0;
+      for ($i = 0; $i < 20; $i++) {
+        try { $t += risky($i); }
+        catch (RuntimeException $e) { $t += 1000; }
+      }
+      echo $t;
+    } |});
+  ("mixed types guard pressure", {|
+    function process($v) {
+      if (is_int($v)) { return $v * 2; }
+      if (is_string($v)) { return strlen($v); }
+      if (is_float($v)) { return (int)$v; }
+      return 0;
+    }
+    function main() {
+      $vals = [1, "hello", 2.5, 7, "x", 3.25, 10];
+      $t = 0;
+      for ($round = 0; $round < 5; $round++) {
+        foreach ($vals as $v) { $t += process($v); }
+      }
+      echo $t;
+    } |});
+  ("nested data", {|
+    function main() {
+      $matrix = [];
+      for ($i = 0; $i < 5; $i++) {
+        $row = [];
+        for ($j = 0; $j < 5; $j++) { $row[] = $i * $j; }
+        $matrix[] = $row;
+      }
+      $t = 0;
+      foreach ($matrix as $row) { $t += array_sum($row); }
+      $matrix[2][2] = 999;
+      echo $t, "/", $matrix[2][2], "/", $matrix[2][1];
+    } |});
+  ("switch and logic", {|
+    function grade($n) {
+      switch (intdiv($n, 10)) {
+        case 10:
+        case 9: return "A";
+        case 8: return "B";
+        case 7: return "C";
+        default: return "F";
+      }
+    }
+    function main() {
+      echo grade(95), grade(87), grade(73), grade(42), grade(100);
+    } |});
+  ("builtins mix", {|
+    function main() {
+      $words = explode(" ", "the quick brown fox jumps");
+      $t = "";
+      foreach ($words as $w) { $t .= strtoupper(substr($w, 0, 1)); }
+      echo $t, "/", count($words), "/", implode("-", array_reverse($words));
+    } |});
+]
+
+let tests = List.map (fun (n, s) -> differential n s) programs
+
+(* --- targeted engine behaviour tests --- *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let engine_tests = [
+  t "region mode produces optimized translations" (fun () ->
+      let src = {|
+        function hot($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s += $i; } return $s; }
+        function main() { $t = 0; for ($j = 0; $j < 10; $j++) { $t += hot(20); } echo $t; }
+      |} in
+      let u = Vm.Loader.load src in
+      let opts = Core.Jit_options.default () in
+      opts.mode <- Core.Jit_options.Region;
+      let eng = Core.Engine.install ~opts u in
+      let r, _ = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+      Runtime.Heap.decref r;
+      Alcotest.(check bool) "profiling translations exist" true (eng.n_profiling > 0);
+      let n = Core.Engine.retranslate_all eng in
+      Alcotest.(check bool) "optimized translations produced" true (n > 0);
+      let r, _ = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+      Runtime.Heap.decref r;
+      Alcotest.(check (list string)) "no leaks" [] (Runtime.Heap.live_allocations ()));
+  t "optimized mode is faster than interpreter" (fun () ->
+      let src = {|
+        function main() {
+          $s = 0;
+          for ($i = 0; $i < 400; $i++) { $s += $i * 2 + 1; }
+          echo $s;
+        } |} in
+      let measure mode retrans =
+        let u = Vm.Loader.load src in
+        ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+        let opts = Core.Jit_options.default () in
+        opts.mode <- mode;
+        let eng = Core.Engine.install ~opts u in
+        (* warm up *)
+        let r, _ = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+        Runtime.Heap.decref r;
+        if retrans then ignore (Core.Engine.retranslate_all eng);
+        let c0 = Runtime.Ledger.read () in
+        let r, _ = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+        Runtime.Heap.decref r;
+        Runtime.Ledger.read () - c0
+      in
+      let interp_cost = measure Core.Jit_options.Interp false in
+      let region_cost = measure Core.Jit_options.Region true in
+      Alcotest.(check bool)
+        (Printf.sprintf "region (%d) beats interp (%d)" region_cost interp_cost)
+        true (region_cost * 2 < interp_cost));
+  t "code budget falls back to interpreter" (fun () ->
+      let src = {|
+        function main() { $s = 0; for ($i = 0; $i < 30; $i++) { $s += $i; } echo $s; }
+      |} in
+      let u = Vm.Loader.load src in
+      let opts = Core.Jit_options.default () in
+      opts.mode <- Core.Jit_options.Tracelet;
+      opts.code_budget <- Some 1;       (* nothing fits *)
+      ignore (Core.Engine.install ~opts u);
+      let r, out = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+      Runtime.Heap.decref r;
+      Alcotest.(check string) "still correct" "435" out;
+      Alcotest.(check (list string)) "no leaks" [] (Runtime.Heap.live_allocations ()));
+]
+
+let suite = ("jit", tests @ engine_tests)

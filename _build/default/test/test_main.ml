@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "hhvm_jit"
+    [
+      Test_runtime.suite;
+      Test_frontend.suite;
+      Test_interp.suite;
+      Test_hhbbc.suite;
+      Test_jit.suite;
+      Test_region.suite;
+      Test_backend.suite;
+      Test_differential.suite;
+      Test_edge.suite;
+    ]

@@ -1,0 +1,249 @@
+(** Tests for the region library: tracelet selection, type constraints,
+    TransCFG registration, region formation with retranslation chaining, and
+    guard relaxation. *)
+
+module R = Hhbc.Rtype
+module Rd = Region.Rdesc
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* helper: compile, then select a block at [start] with a synthetic oracle *)
+let select_with src fname start (oracle : Rd.loc -> R.t) =
+  let u = Vm.Loader.load src in
+  let fid = Option.get (Hhbc.Hunit.find_func u fname) in
+  Region.Select.select u ~func_id:fid ~start ~mode:Region.Select.MProfiling
+    ~oracle ()
+
+let const_oracle ty : Rd.loc -> R.t = fun _ -> ty
+
+let guard_of (b : Rd.block) (loc : Rd.loc) : Rd.guard option =
+  List.find_opt (fun (g : Rd.guard) -> g.g_loc = loc) b.b_preconds
+
+let selection_tests = [
+  t "block ends at a branch" (fun () ->
+      let b = select_with
+          "function f($x) { if ($x > 0) { return 1; } return 2; }"
+          "f" 0 (const_oracle R.int)
+      in
+      Alcotest.(check int) "starts at 0" 0 b.b_start;
+      Alcotest.(check bool) "short block (ends at JmpZ)" true (b.b_len <= 6));
+  t "arith use raises Specific constraint" (fun () ->
+      let b = select_with
+          "function f($x) { return $x + 1; }" "f" 0 (const_oracle R.int)
+      in
+      match guard_of b (Rd.LLocal 0) with
+      | Some g ->
+        Alcotest.(check string) "constraint" "Specific"
+          (Rd.constraint_name g.g_constraint)
+      | None -> Alcotest.fail "expected a guard on $x");
+  t "store-only local gets BoxAndCountness" (fun () ->
+      (* $y is only overwritten: only its old value's countedness matters *)
+      let b = select_with
+          "function f($x, $y) { $y = 1; return 0; }" "f" 0
+          (const_oracle R.int)
+      in
+      match guard_of b (Rd.LLocal 1) with
+      | Some g ->
+        Alcotest.(check string) "constraint" "BoxAndCountness"
+          (Rd.constraint_name g.g_constraint)
+      | None -> Alcotest.fail "expected a guard on $y");
+  t "array base gets Specialized" (fun () ->
+      let b = select_with
+          "function f($a) { return $a[0]; }" "f" 0
+          (const_oracle R.packed_arr)
+      in
+      match guard_of b (Rd.LLocal 0) with
+      | Some g ->
+        Alcotest.(check string) "constraint" "Specialized"
+          (Rd.constraint_name g.g_constraint);
+        Alcotest.(check bool) "guard keeps packed kind" true
+          (R.equal g.g_type R.packed_arr)
+      | None -> Alcotest.fail "expected a guard on $a");
+  t "asserts provide free knowledge (no guard)" (fun () ->
+      let u = Vm.Loader.load "function f($x) { $y = $x + 1; return $y * 2; }" in
+      ignore (Hhbbc.Assert_insert.run u);
+      let fid = Option.get (Hhbc.Hunit.find_func u "f") in
+      (* select the block after the store to $y: the hhbbc assert should
+         cover $y so only $x-derived state needs guarding *)
+      let b =
+        Region.Select.select u ~func_id:fid ~start:0
+          ~mode:Region.Select.MProfiling ~oracle:(const_oracle R.int) ()
+      in
+      (* no guard should ask for more than the assert already provides *)
+      List.iter
+        (fun (g : Rd.guard) ->
+           Alcotest.(check bool) "guards only on entry locals" true
+             (match g.g_loc with Rd.LLocal _ -> true | _ -> false))
+        b.b_preconds);
+  t "call ends block and result is a stack postcondition" (fun () ->
+      let b = select_with
+          "function g() { return 1; } function f() { $r = g(); return $r; }"
+          "f" 0 (const_oracle R.int)
+      in
+      Alcotest.(check int) "one value pushed at exit" 1 b.b_exit_sp;
+      Alcotest.(check bool) "stack postcond recorded" true
+        (List.mem_assoc (Rd.LStack 0) b.b_postconds));
+  t "exit_sp counts pops and pushes" (fun () ->
+      (* block: Int 0; SetL; PopC; ... all statement-level: net 0 *)
+      let b = select_with
+          "function f() { $a = 1; $b = 2; return $a + $b; }" "f" 0
+          (const_oracle R.uninit)
+      in
+      Alcotest.(check bool) "non-negative depth change" true (b.b_exit_sp >= 0));
+]
+
+(* --- relaxation --- *)
+
+let mk_guard loc ty c : Rd.guard =
+  { g_loc = loc; g_type = ty; g_constraint = c }
+
+let mk_block ?(id = 1000) ?(func = 0) ?(start = 0) ?(len = 1)
+    ?(pre = []) ?(post = []) () : Rd.block =
+  { b_id = id; b_func = func; b_start = start; b_len = len;
+    b_preconds = pre; b_postconds = post; b_exit_sp = 0; b_counter = None }
+
+let relax_tests = [
+  t "generic constraint drops the guard" (fun () ->
+      let b = mk_block ~pre:[ mk_guard (Rd.LLocal 0) R.int Rd.Generic ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b ]; r_arcs = []; r_chain_next = [] } in
+      Alcotest.(check int) "no guards left" 0
+        (List.length (Rd.entry r).b_preconds));
+  t "countness over uncounted types widens to Uncounted" (fun () ->
+      let b1 = mk_block ~id:1 ~pre:[ mk_guard (Rd.LLocal 0) R.int Rd.Countness ] () in
+      let b2 = mk_block ~id:2 ~pre:[ mk_guard (Rd.LLocal 0) R.dbl Rd.Countness ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b1; b2 ]; r_arcs = [];
+            r_chain_next = [ (1, 2) ] } in
+      (* both siblings widen to Uncounted and merge into one *)
+      Alcotest.(check int) "merged to one block" 1 (List.length r.r_blocks);
+      (match (Rd.entry r).b_preconds with
+       | [ g ] -> Alcotest.(check bool) "widened" true (R.equal g.g_type R.uncounted)
+       | _ -> Alcotest.fail "expected one relaxed guard"));
+  t "mostly-counted distribution drops to generic" (fun () ->
+      let heavy = mk_block ~id:1 ~pre:[ mk_guard (Rd.LLocal 0) R.cstr Rd.Countness ] () in
+      let light = mk_block ~id:2 ~pre:[ mk_guard (Rd.LLocal 0) R.int Rd.Countness ] () in
+      (* no counters registered: weights default to 1 each -> 50% counted,
+         below the threshold: guards stay *)
+      let r = Region.Relax.run
+          { r_blocks = [ heavy; light ]; r_arcs = []; r_chain_next = [ (1, 2) ] } in
+      Alcotest.(check int) "both blocks kept" 2 (List.length r.r_blocks));
+  t "Specific guard merges static/counted strings" (fun () ->
+      let b = mk_block ~pre:[ mk_guard (Rd.LLocal 0) R.sstr Rd.Specific ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b ]; r_arcs = []; r_chain_next = [] } in
+      (match (Rd.entry r).b_preconds with
+       | [ g ] -> Alcotest.(check bool) "widened to Str" true (R.equal g.g_type R.str)
+       | _ -> Alcotest.fail "expected one guard"));
+  t "Specialized guards are kept exactly" (fun () ->
+      let b = mk_block ~pre:[ mk_guard (Rd.LLocal 0) R.packed_arr Rd.Specialized ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b ]; r_arcs = []; r_chain_next = [] } in
+      (match (Rd.entry r).b_preconds with
+       | [ g ] -> Alcotest.(check bool) "unchanged" true (R.equal g.g_type R.packed_arr)
+       | _ -> Alcotest.fail "expected one guard"));
+  t "self arcs survive relaxation (loop backedges)" (fun () ->
+      let b1 = mk_block ~id:1 ~pre:[ mk_guard (Rd.LLocal 0) R.int Rd.Countness ] () in
+      let b2 = mk_block ~id:2 ~pre:[ mk_guard (Rd.LLocal 0) R.dbl Rd.Countness ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b1; b2 ]; r_arcs = [ (1, 2); (2, 2) ];
+            r_chain_next = [ (1, 2) ] } in
+      (* both merge to block 1; arcs collapse onto it but remain *)
+      Alcotest.(check (list (pair int int))) "self arc kept" [ (1, 1) ] r.r_arcs);
+  t "widened guards widen stale postconditions" (fun () ->
+      let b1 = mk_block ~id:1
+          ~pre:[ mk_guard (Rd.LLocal 0) R.int Rd.Countness ]
+          ~post:[ (Rd.LLocal 0, R.int) ] () in
+      let b2 = mk_block ~id:2
+          ~pre:[ mk_guard (Rd.LLocal 0) R.dbl Rd.Countness ]
+          ~post:[ (Rd.LLocal 0, R.dbl) ] () in
+      let r = Region.Relax.run
+          { r_blocks = [ b1; b2 ]; r_arcs = []; r_chain_next = [ (1, 2) ] } in
+      (match (Rd.entry r).b_postconds with
+       | [ (_, ty) ] ->
+         Alcotest.(check bool) "postcond covers all admitted types" true
+           (R.subtype R.uncounted ty || R.subtype R.num ty)
+       | _ -> Alcotest.fail "expected one postcond"));
+  t "relaxation does not mutate the original blocks" (fun () ->
+      let g = mk_guard (Rd.LLocal 0) R.sstr Rd.Specific in
+      let b = mk_block ~pre:[ g ] () in
+      ignore (Region.Relax.run
+                { r_blocks = [ b ]; r_arcs = []; r_chain_next = [] });
+      Alcotest.(check bool) "original guard untouched" true
+        (R.equal g.g_type R.sstr));
+]
+
+(* --- region formation over a profiled run --- *)
+
+let formation_tests = [
+  t "loop produces a region with a backedge and chains" (fun () ->
+      let src = {|
+        function poly($v) {
+          if (is_int($v)) { return $v + 1; }
+          return 0;
+        }
+        function main() {
+          $t = 0;
+          for ($i = 0; $i < 30; $i++) { $t += poly($i); }
+          return $t;
+        }
+      |} in
+      let u = Vm.Loader.load src in
+      ignore (Hhbbc.Assert_insert.run u);
+      let opts = Core.Jit_options.default () in
+      opts.mode <- Core.Jit_options.Region;
+      ignore (Core.Engine.install ~opts u);
+      let r = Vm.Interp.call_by_name u "main" [] in
+      Runtime.Heap.decref r;
+      let fid = Option.get (Hhbc.Hunit.find_func u "main") in
+      match Region.Form.form_func_regions fid with
+      | [] -> Alcotest.fail "no region formed"
+      | region :: _ ->
+        Alcotest.(check bool) "several blocks" true
+          (List.length region.r_blocks >= 3);
+        Alcotest.(check bool) "has arcs" true (region.r_arcs <> []);
+        (* every arc endpoint is a block of the region *)
+        List.iter
+          (fun (s, d) ->
+             ignore (Rd.find_block region s);
+             ignore (Rd.find_block region d))
+          region.r_arcs;
+        (* entry is the lowest bytecode address *)
+        let entry = Rd.entry region in
+        List.iter
+          (fun (b : Rd.block) ->
+             Alcotest.(check bool) "entry first" true
+               (entry.b_start <= b.b_start))
+          region.r_blocks);
+  t "retranslation chains are ordered by weight" (fun () ->
+      let src = {|
+        function f($v) { return $v + $v; }
+        function main() {
+          $t = 0;
+          for ($i = 0; $i < 40; $i++) { $t += f($i); }
+          $d = 0.0;
+          for ($i = 0; $i < 8; $i++) { $d = $d + f($i * 1.5); }
+          return $t + (int)$d;
+        }
+      |} in
+      let u = Vm.Loader.load src in
+      let opts = Core.Jit_options.default () in
+      opts.mode <- Core.Jit_options.Region;
+      ignore (Core.Engine.install ~opts u);
+      let r = Vm.Interp.call_by_name u "main" [] in
+      Runtime.Heap.decref r;
+      let fid = Option.get (Hhbc.Hunit.find_func u "f") in
+      match Region.Form.form_func_regions fid with
+      | [] -> Alcotest.fail "no region for f"
+      | region :: _ ->
+        List.iter
+          (fun (a, b) ->
+             let wa = Region.Transcfg.block_weight (Rd.find_block region a) in
+             let wb = Region.Transcfg.block_weight (Rd.find_block region b) in
+             Alcotest.(check bool)
+               (Printf.sprintf "chain head at least as hot (%d >= %d)" wa wb)
+               true (wa >= wb))
+          region.r_chain_next);
+]
+
+let suite = ("region", selection_tests @ relax_tests @ formation_tests)
