@@ -176,9 +176,8 @@ let table1 () =
 (* Bechamel microbenchmarks: wall-clock cost of the compiler itself    *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  hdr "Microbenchmarks: wall-clock time of the JIT pipeline (bechamel)"
-    "(not in the paper; JIT-time engineering numbers)";
+(** Run the bechamel pipeline microbenchmarks; returns (name, ns/run). *)
+let micro_results () : (string * float) list =
   let open Bechamel in
   let open Toolkit in
   let src = Workloads.Endpoints.source in
@@ -216,17 +215,150 @@ let micro () =
     List.map (fun i -> Analyze.all ols i raw) instances
   in
   let results = benchmark () in
-  List.iter
+  List.concat_map
     (fun tbl ->
-       Hashtbl.iter
-         (fun name result ->
+       Hashtbl.fold
+         (fun name result acc ->
             match Bechamel.Analyze.OLS.estimates result with
-            | Some [ est ] ->
-              Printf.printf "%-32s %12.0f ns/run\n" name est
-            | _ ->
-              Printf.printf "%-32s (no estimate)\n" name)
-         tbl)
+            | Some [ est ] -> (name, est) :: acc
+            | _ -> acc)
+         tbl [])
     results
+  |> List.sort compare
+
+let micro () =
+  hdr "Microbenchmarks: wall-clock time of the JIT pipeline (bechamel)"
+    "(not in the paper; JIT-time engineering numbers)";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-32s %12.0f ns/run\n" name est)
+    (micro_results ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trajectory: BENCH_hotpath.json                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Wall-clock + simulated cycles for the full perflab lifecycle of one
+    execution mode.  Wall time is best-of-[reps] (the perflab itself is
+    deterministic; only host noise varies). *)
+type mode_sample = {
+  ms_name : string;
+  ms_wall_s : float;
+  ms_cycles_per_req : float;
+  ms_code_bytes : int;
+  ms_output_hash : int;
+}
+
+let measure_mode ~(reps : int) (name : string) (mode : Core.Jit_options.mode)
+  : mode_sample =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = Server.Perflab.run mode in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  let r = Option.get !last in
+  { ms_name = name;
+    ms_wall_s = !best;
+    ms_cycles_per_req = r.Server.Perflab.r_weighted;
+    ms_code_bytes = r.Server.Perflab.r_code_bytes;
+    ms_output_hash = r.Server.Perflab.r_output_hash }
+
+(** Pull the balanced-brace object following ["baseline":] out of an
+    existing trajectory file, so re-runs preserve the original baseline.
+    (Our emitter never puts braces inside strings, so a depth scan is
+    sufficient — no JSON parser dependency.) *)
+let extract_baseline (path : string) : string option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let needle = "\"baseline\":" in
+    let rec find i =
+      if i + String.length needle > len then None
+      else if String.sub s i (String.length needle) = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some i ->
+      (match String.index_from_opt s i '{' with
+       | None -> None
+       | Some start ->
+         let rec scan j depth =
+           if j >= len then None
+           else match s.[j] with
+             | '{' -> scan (j + 1) (depth + 1)
+             | '}' ->
+               if depth = 1 then Some (String.sub s start (j - start + 1))
+               else scan (j + 1) (depth - 1)
+             | _ -> scan (j + 1) depth
+         in
+         scan start 0)
+  end
+
+let sample_json (m : mode_sample) : string =
+  Printf.sprintf
+    "    \"%s\": { \"wall_s\": %.6f, \"cycles_per_req\": %.1f, \
+     \"code_bytes\": %d }"
+    m.ms_name m.ms_wall_s m.ms_cycles_per_req m.ms_code_bytes
+
+let json () =
+  let reps = 3 in
+  let modes =
+    [ ("Interp", Core.Jit_options.Interp);
+      ("JIT-Tracelet", Core.Jit_options.Tracelet);
+      ("JIT-Profile", Core.Jit_options.ProfileOnly);
+      ("JIT-Region", Core.Jit_options.Region) ]
+  in
+  let samples = List.map (fun (n, m) -> measure_mode ~reps n m) modes in
+  let hash_match =
+    match samples with
+    | s :: rest -> List.for_all (fun s' -> s'.ms_output_hash = s.ms_output_hash) rest
+    | [] -> true
+  in
+  let micro = micro_results () in
+  let buf = Buffer.create 1024 in
+  let current = Buffer.create 1024 in
+  Buffer.add_string current "{\n  \"modes\": {\n";
+  Buffer.add_string current
+    (String.concat ",\n" (List.map sample_json samples));
+  Buffer.add_string current "\n  },\n  \"micro_ns_per_run\": {\n";
+  Buffer.add_string current
+    (String.concat ",\n"
+       (List.map
+          (fun (n, est) -> Printf.sprintf "    \"%s\": %.1f" n est)
+          micro));
+  Buffer.add_string current "\n  },\n";
+  Buffer.add_string current
+    (Printf.sprintf "  \"differential_hash_match\": %b\n  }" hash_match);
+  let current = Buffer.contents current in
+  let path = "BENCH_hotpath.json" in
+  let baseline =
+    match extract_baseline path with
+    | Some b -> b
+    | None -> current
+  in
+  Buffer.add_string buf "{\n\"bench\": \"hotpath\",\n\"schema\": 1,\n";
+  Buffer.add_string buf "\"baseline\": ";
+  Buffer.add_string buf baseline;
+  Buffer.add_string buf ",\n\"current\": ";
+  Buffer.add_string buf current;
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  List.iter
+    (fun m ->
+       Printf.printf "%-14s wall %7.3f s   %10.0f cycles/req\n"
+         m.ms_name m.ms_wall_s m.ms_cycles_per_req)
+    samples;
+  Printf.printf "differential hash match: %b\n" hash_match
 
 (* ------------------------------------------------------------------ *)
 
@@ -285,11 +417,12 @@ let () =
    | "table1" -> table1 ()
    | "micro" -> micro ()
    | "ablate" -> ablate ()
+   | "json" -> json ()
    | "all" ->
      fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate (); micro ()
    | other ->
      Printf.eprintf
-       "unknown target %S (use fig8|fig9|fig10|fig11|table1|ablate|micro|all)\n"
+       "unknown target %S (use fig8|fig9|fig10|fig11|table1|ablate|micro|json|all)\n"
        other;
      exit 1);
   line ()

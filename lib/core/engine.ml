@@ -14,15 +14,33 @@ module Rd = Region.Rdesc
 
 type phase = PProfiling | POptimized
 
+(** Per-srckey translation slot: the retranslation chain as a growable
+    array (publish is O(1) amortized and keeps insertion order — no list
+    re-walk per publish) plus the monomorphic last-hit entry cache.  The
+    cache remembers the last entry that matched here; re-entry validates
+    only that entry's guards before falling back to the full chain walk. *)
+type slot = {
+  mutable sl_chain : Translation.t array;  (* first [sl_len] are live *)
+  mutable sl_len : int;
+  mutable sl_mono : (Translation.t * Translation.entry) option;
+}
+
 type t = {
   opts : Jit_options.t;
   hunit : Hhbc.Hunit.t;
   machine : Exec.machine;
   cache : Simcpu.Codecache.t;
-  (* (fid, pc) -> chain of translations (tried in order) *)
-  trans : (int * int, Translation.t list ref) Hashtbl.t;
+  (* dense per-function translation tables indexed by srckey pc:
+     trans.(fid).(pc) is the slot for that srckey (O(1), allocation-free
+     lookup — no tuple hashing on the dispatch path) *)
+  mutable trans : slot option array array;
   (* srckeys where compilation failed / budget exhausted: don't retry *)
-  nocompile : (int * int, unit) Hashtbl.t;
+  mutable nocompile : bool array array;
+  (* bumped by retranslate-all; stale translation links (and anything else
+     that caches a pre-reset translation) die by generation mismatch *)
+  mutable generation : int;
+  (* JIT_TRACE, read once at install (not per translation entry) *)
+  trace : bool;
   mutable phase : phase;
   mutable optimized_published : bool;
   (* stats *)
@@ -34,6 +52,70 @@ type t = {
 }
 
 let current : t option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Translation tables                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let body_len (u : Hhbc.Hunit.t) (fid : int) : int =
+  Array.length (Hhbc.Hunit.func u fid).Hhbc.Instr.fn_body
+
+let fresh_trans (u : Hhbc.Hunit.t) : slot option array array =
+  Array.init (Hhbc.Hunit.num_funcs u)
+    (fun fid -> Array.make (body_len u fid + 1) None)
+
+let fresh_nocompile (u : Hhbc.Hunit.t) : bool array array =
+  Array.init (Hhbc.Hunit.num_funcs u)
+    (fun fid -> Array.make (body_len u fid + 1) false)
+
+(** Grow the outer tables if the unit gained functions after install. *)
+let ensure_fid (eng : t) (fid : int) : unit =
+  if fid >= Array.length eng.trans then begin
+    let n = max (Hhbc.Hunit.num_funcs eng.hunit) (fid + 1) in
+    let grow old mk =
+      Array.init n
+        (fun i -> if i < Array.length old then old.(i) else mk i)
+    in
+    eng.trans <-
+      grow eng.trans (fun i -> Array.make (body_len eng.hunit i + 1) None);
+    eng.nocompile <-
+      grow eng.nocompile (fun i -> Array.make (body_len eng.hunit i + 1) false)
+  end
+
+let find_slot (eng : t) (fid : int) (pc : int) : slot option =
+  if fid < Array.length eng.trans then
+    let row = eng.trans.(fid) in
+    if pc < Array.length row then row.(pc) else None
+  else None
+
+let get_or_create_slot (eng : t) (fid : int) (pc : int) : slot =
+  ensure_fid eng fid;
+  let row = eng.trans.(fid) in
+  let row =
+    if pc < Array.length row then row
+    else begin
+      let bigger = Array.make (pc + 1) None in
+      Array.blit row 0 bigger 0 (Array.length row);
+      eng.trans.(fid) <- bigger;
+      bigger
+    end
+  in
+  match row.(pc) with
+  | Some sl -> sl
+  | None ->
+    let sl = { sl_chain = [||]; sl_len = 0; sl_mono = None } in
+    row.(pc) <- Some sl;
+    sl
+
+let no_compile (eng : t) (fid : int) (pc : int) : bool =
+  fid < Array.length eng.nocompile
+  && pc < Array.length eng.nocompile.(fid)
+  && eng.nocompile.(fid).(pc)
+
+let mark_no_compile (eng : t) (fid : int) (pc : int) : unit =
+  ensure_fid eng fid;
+  let row = eng.nocompile.(fid) in
+  if pc < Array.length row then row.(pc) <- true
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
@@ -89,22 +171,20 @@ let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
     ~entries:lowered.lw_entries ~cache:eng.cache
 
 let publish (eng : t) (tr : Translation.t) =
-  let key = (tr.tr_fid, tr.tr_srckey) in
-  let chain =
-    match Hashtbl.find_opt eng.trans key with
-    | Some c -> c
-    | None ->
-      let c = ref [] in
-      Hashtbl.replace eng.trans key c;
-      c
-  in
-  chain := !chain @ [ tr ]
+  let sl = get_or_create_slot eng tr.tr_fid tr.tr_srckey in
+  if sl.sl_len = Array.length sl.sl_chain then begin
+    let bigger = Array.make (max 2 (2 * sl.sl_len)) tr in
+    Array.blit sl.sl_chain 0 bigger 0 sl.sl_len;
+    sl.sl_chain <- bigger
+  end;
+  sl.sl_chain.(sl.sl_len) <- tr;
+  sl.sl_len <- sl.sl_len + 1
 
 (** Lazily compile a live or profiling translation for (frame, pc). *)
 let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
   : Translation.t option =
   let fid = frame.func.fn_id in
-  if Hashtbl.mem eng.nocompile (fid, pc) then None
+  if no_compile eng fid pc then None
   else begin
     let kind =
       match eng.opts.mode, eng.phase with
@@ -132,7 +212,7 @@ let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
         ~oracle ?counter ()
     in
     if block.b_len = 0 then begin
-      Hashtbl.replace eng.nocompile (fid, pc) ();
+      mark_no_compile eng fid pc;
       None
     end else begin
       if kind = Translation.KProfiling then
@@ -159,7 +239,7 @@ let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
         Some tr
       | None ->
         (* budget exhausted *)
-        Hashtbl.replace eng.nocompile (fid, pc) ();
+        mark_no_compile eng fid pc;
         None
     end
   end
@@ -175,28 +255,52 @@ let guard_matches (frame : Vm.Interp.frame) (g : Rd.guard) : bool =
     frame.sp - 1 - d >= 0
     && Hhbc.Rtype.value_matches g.g_type frame.stack.(frame.sp - 1 - d)
 
-(** Find a translation entry whose preconditions hold for the live state. *)
+(** Validate one entry's preconditions against the live state; charges the
+    simulated guard-execution cost (2 cycles per guard, as before). *)
+let entry_matches (frame : Vm.Interp.frame) (en : Translation.entry) : bool =
+  let gs = en.Translation.en_guards in
+  let n = Array.length gs in
+  Runtime.Ledger.charge_jit (2 * n);
+  let rec ok i = i >= n || (guard_matches frame gs.(i) && ok (i + 1)) in
+  ok 0
+
+(** Find a translation entry whose preconditions hold for the live state.
+    The slot's monomorphic last-hit cache is consulted first: steady-state
+    re-entry validates only the cached entry's guards instead of walking
+    the whole retranslation chain. *)
 let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
-  : (Translation.t * int * Rd.block) option =
-  match Hashtbl.find_opt eng.trans (frame.func.fn_id, pc) with
+  : (Translation.t * Translation.entry) option =
+  match find_slot eng frame.func.fn_id pc with
   | None -> None
-  | Some chain ->
-    let rec try_trans = function
-      | [] -> None
-      | (tr : Translation.t) :: rest ->
-        let rec try_entries = function
-          | [] -> None
-          | (rb, idx) :: more ->
-            Runtime.Ledger.charge_jit (2 * List.length rb.Rd.b_preconds);
-            if List.for_all (guard_matches frame) rb.Rd.b_preconds then
-              Some (tr, idx, rb)
-            else try_entries more
-        in
-        (match try_entries tr.tr_entries with
-         | Some r -> Some r
-         | None -> try_trans rest)
+  | Some sl ->
+    let mono_hit =
+      if eng.opts.dispatch_caches then
+        match sl.sl_mono with
+        | Some (_, en) as hit when entry_matches frame en -> hit
+        | _ -> None
+      else None
     in
-    try_trans !chain
+    match mono_hit with
+    | Some _ -> mono_hit
+    | None ->
+      let chain = sl.sl_chain in
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < sl.sl_len do
+        let tr = chain.(!i) in
+        let entries = tr.Translation.tr_entries in
+        let j = ref 0 in
+        while !found = None && !j < Array.length entries do
+          let en = entries.(!j) in
+          if entry_matches frame en then found := Some (tr, en);
+          incr j
+        done;
+        incr i
+      done;
+      (match !found with
+       | Some _ as hit when eng.opts.dispatch_caches -> sl.sl_mono <- hit
+       | _ -> ());
+      !found
 
 (** Materialize an inlined callee frame from exit metadata (§5.3.1). *)
 let materialize_inline (eng : t) (tr : Translation.t)
@@ -228,30 +332,60 @@ let materialize_inline (eng : t) (tr : Translation.t)
 let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
   : Vm.Interp.enter_result =
   let prev_prof_block : int option ref = ref None in
-  let rec go (pc : int) (first : bool) : Vm.Interp.enter_result =
+  (* [via] is the (translation, exit id) we are chaining out of, if any:
+     when the exit's target resolves, the link is memoized there so later
+     exits skip the table lookup and chain walk entirely — the software
+     analogue of the paper's smashed bind jumps (§4.3). *)
+  let rec go ~(via : (Translation.t * int) option) (pc : int) (first : bool)
+    : Vm.Interp.enter_result =
     let entry =
-      match select_entry eng frame pc with
-      | Some e -> Some e
+      let linked =
+        match via with
+        | Some (src, eid) when eng.opts.dispatch_caches ->
+          let lk = src.Translation.tr_links.(eid) in
+          if lk.Translation.lk_gen = eng.generation then
+            (match lk.Translation.lk_target with
+             | Some (_, en) as tgt when entry_matches frame en -> tgt
+             | _ -> None)
+          else None
+        | _ -> None
+      in
+      match linked with
+      | Some _ -> linked
       | None ->
-        if eng.opts.mode = Jit_options.Interp then None
-        else begin
-          (* lazy compilation; limit chain growth per srckey *)
-          let chain_len =
-            match Hashtbl.find_opt eng.trans (frame.func.fn_id, pc) with
-            | Some c -> List.length !c
-            | None -> 0
-          in
-          if chain_len >= eng.opts.max_live_per_srckey then None
-          else
-            match compile_lazy eng frame pc with
-            | Some _ -> select_entry eng frame pc
-            | None -> None
-        end
+        let found =
+          match select_entry eng frame pc with
+          | Some e -> Some e
+          | None ->
+            if eng.opts.mode = Jit_options.Interp then None
+            else begin
+              (* lazy compilation; limit chain growth per srckey *)
+              let chain_len =
+                match find_slot eng frame.func.fn_id pc with
+                | Some sl -> sl.sl_len
+                | None -> 0
+              in
+              if chain_len >= eng.opts.max_live_per_srckey then None
+              else
+                match compile_lazy eng frame pc with
+                | Some _ -> select_entry eng frame pc
+                | None -> None
+            end
+        in
+        (* smash the bind: remember this exit's resolved target *)
+        (match found, via with
+         | Some _, Some (src, eid) when eng.opts.dispatch_caches ->
+           let lk = src.Translation.tr_links.(eid) in
+           lk.Translation.lk_gen <- eng.generation;
+           lk.Translation.lk_target <- found
+         | _ -> ());
+        found
     in
     match entry with
     | None ->
       if first then Vm.Interp.NoTranslation else Vm.Interp.Resumed pc
-    | Some (tr, idx, rb) ->
+    | Some (tr, en) ->
+      let rb = en.Translation.en_block and idx = en.Translation.en_idx in
       (* record TransCFG arcs between consecutive profiling blocks (§4.2) *)
       (* profiling translations carry instrumentation beyond the block
          counter (targeted profiles, §4.1 item 4); charge its overhead at
@@ -262,20 +396,20 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
        | Translation.KProfiling ->
          (match !prev_prof_block with
           | Some src ->
-            if Sys.getenv_opt "JIT_TRACE" <> None then
+            if eng.trace then
               Printf.eprintf "ARC %d -> %d\n" src rb.Rd.b_id;
             Region.Transcfg.record_arc ~src ~dst:rb.Rd.b_id
           | None -> ());
          prev_prof_block := Some rb.Rd.b_id
        | _ -> prev_prof_block := None);
       let entry_sp = frame.sp in
-      if Sys.getenv_opt "JIT_TRACE" <> None then
+      if eng.trace then
         Printf.eprintf "ENTER tr=%d fid=%d pc=%d sp=%d\n"
           tr.tr_id tr.tr_fid pc entry_sp;
       let outcome, reader =
         Exec.run_with_state eng.machine tr ~entry:idx ~frame ~entry_sp
       in
-      if Sys.getenv_opt "JIT_TRACE" <> None then
+      if eng.trace then
         Printf.eprintf "LEAVE tr=%d fid=%d -> %s\n" tr.tr_id tr.tr_fid
           (match outcome with
            | Exec.XReturn _ -> "return"
@@ -295,7 +429,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
             Vm.Interp.Resumed es.es_pc
           | None ->
             frame.sp <- entry_sp + es.es_spdelta;
-            go es.es_pc false
+            go ~via:(Some (tr, eid)) es.es_pc false
           | Some ie ->
             (* partial-inlining side exit: run the rest of the callee in
                the interpreter, push its result, continue in the caller *)
@@ -304,7 +438,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
             (match Vm.Interp.run cf ie.ie_pc with
              | v ->
                Vm.Interp.push frame v;
-               go es.es_pc false
+               go ~via:None es.es_pc false
              | exception Vm.Interp.Php_exception e ->
                (* the callee frame was torn down by its unwinder; the
                   exception propagates into the caller at the call's pc *)
@@ -321,7 +455,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
             (try
                let v = Vm.Interp.resume_with_exception cf ie.ie_pc exn_v in
                Vm.Interp.push frame v;
-               go es.es_pc false
+               go ~via:None es.es_pc false
              with Vm.Interp.Php_exception e2 ->
                (* propagate into the caller at the call's pc *)
                Vm.Interp.Returned
@@ -330,7 +464,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
             Vm.Interp.Returned
               (Vm.Interp.resume_with_exception frame es.es_pc exn_v)))
   in
-  go pc true
+  go ~via:None pc true
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program reoptimization (§5.1)                                 *)
@@ -372,9 +506,13 @@ let retranslate_all (eng : t) : int =
       C3.sort ~edges:(edges @ medges) ~sizes:func_size_estimate funcs
     end else funcs
   in
-  (* drop profiling translations; optimized code replaces them *)
-  Hashtbl.reset eng.trans;
-  Hashtbl.reset eng.nocompile;
+  (* drop profiling translations; optimized code replaces them.  Fresh
+     tables also clear every monomorphic entry cache, and bumping the
+     generation unsmashes every translation link — stale translations
+     cannot be re-entered through any cache after this point. *)
+  eng.generation <- eng.generation + 1;
+  eng.trans <- fresh_trans eng.hunit;
+  eng.nocompile <- fresh_nocompile eng.hunit;
   let count = ref 0 in
   List.iter
     (fun fid ->
@@ -426,8 +564,10 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
     hunit = u;
     machine = Exec.create_machine ();
     cache = Simcpu.Codecache.create ?budget:opts.code_budget ();
-    trans = Hashtbl.create 256;
-    nocompile = Hashtbl.create 64;
+    trans = fresh_trans u;
+    nocompile = fresh_nocompile u;
+    generation = 0;
+    trace = Sys.getenv_opt "JIT_TRACE" <> None;
     phase = PProfiling;
     optimized_published = false;
     n_live = 0; n_profiling = 0; n_optimized = 0;
@@ -438,6 +578,10 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   Vm.Prof.reset ();
   Region.Relax.reset_stats ();
   Hhir_opt.Rce.reset_stats ();
+  (* the interpreter's per-call-site dispatch caches follow the engine's
+     cache policy; stale entries from a previous engine die here *)
+  Vm.Interp.dispatch_caches_enabled := opts.dispatch_caches;
+  Vm.Interp.reset_meth_site_caches ();
   (if opts.mode = Jit_options.Interp then begin
      Vm.Interp.call_dispatch := Vm.Interp.call_interpreted;
      Vm.Interp.translation_hook := (fun _ _ -> Vm.Interp.NoTranslation)

@@ -19,7 +19,8 @@ type outcome =
 type machine = {
   icache : Simcpu.Icache.t;
   itlb : Simcpu.Itlb.t;
-  meth_caches : (int, int * int) Hashtbl.t;  (* inline caches: id -> cls, fid *)
+  (* inline caches, dense by cache-site id: (cls, fid); (-1, -1) = empty *)
+  mutable meth_caches : (int * int) array;
   mutable instrs_executed : int;
   (* cycle attribution per translation kind (Fig. 9's live/optimized split) *)
   mutable cycles_live : int;
@@ -30,7 +31,7 @@ type machine = {
 let create_machine () : machine = {
   icache = Simcpu.Icache.create ();
   itlb = Simcpu.Itlb.create ();
-  meth_caches = Hashtbl.create 64;
+  meth_caches = Array.make 64 (-1, -1);
   instrs_executed = 0;
   cycles_live = 0; cycles_prof = 0; cycles_opt = 0;
 }
@@ -154,14 +155,22 @@ let run_helper (m : machine) (frame : Vm.Interp.frame) (h : helper)
   | HCallMethodCached (mname, cid) ->
     let recv = a 0 in
     let o = need_obj recv in
+    if cid >= Array.length m.meth_caches then begin
+      let bigger =
+        Array.make (max (cid + 1) (2 * Array.length m.meth_caches)) (-1, -1)
+      in
+      Array.blit m.meth_caches 0 bigger 0 (Array.length m.meth_caches);
+      m.meth_caches <- bigger
+    end;
+    let ccls, cfid = m.meth_caches.(cid) in
     let fid =
-      match Hashtbl.find_opt m.meth_caches cid with
-      | Some (cls, fid) when cls = o.data.cls -> fid
-      | _ ->
+      if ccls = o.data.cls then cfid
+      else begin
         charge 22;   (* cache miss: full lookup + cache update *)
         let meth = Vm.Interp.lookup_method_for recv mname in
-        Hashtbl.replace m.meth_caches cid (o.data.cls, meth.m_func);
+        m.meth_caches.(cid) <- (o.data.cls, meth.m_func);
         meth.m_func
+      end
     in
     dispatch frame.unit_ fid (Array.sub args 1 (Array.length args - 1)) recv
   | HCheckMethodFid (mname, fid) ->

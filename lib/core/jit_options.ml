@@ -25,6 +25,12 @@ type t = {
   mutable store_elim : bool;
   mutable gvn : bool;
   mutable simplify : bool;
+  (* hot-path dispatch caches: monomorphic last-hit entry caches,
+     translation linking (bind-jump smashing), and the interpreter's
+     per-call-site method-dispatch caches.  These are pure wall-clock
+     engineering — they never change program output — but can be switched
+     off to verify exactly that (see test_jit's cache-parity test). *)
+  mutable dispatch_caches : bool;
   (* policy *)
   mutable code_budget : int option;   (* bytes; None = unlimited *)
   mutable max_live_per_srckey : int;  (* retranslation-chain length limit *)
@@ -48,6 +54,7 @@ let default () : t = {
   store_elim = true;
   gvn = true;
   simplify = true;
+  dispatch_caches = true;
   code_budget = None;
   max_live_per_srckey = 4;
   nregs = 12;

@@ -5,6 +5,16 @@ open Vasm.Vinstr
 
 type kind = KLive | KProfiling | KOptimized
 
+(** An engine entry point: the region block whose preconditions gate entry,
+    the instruction index to start at, and the block's guards in array form
+    (precomputed so the engine's per-entry guard walk is allocation-free
+    and knows its length without re-walking a list). *)
+type entry = {
+  en_block : Region.Rdesc.block;
+  en_idx : int;
+  en_guards : Region.Rdesc.guard array;
+}
+
 type t = {
   tr_id : int;
   tr_fid : int;
@@ -13,12 +23,23 @@ type t = {
   tr_code : Vasm.Regalloc.operand Vasm.Vinstr.t array;
   tr_addr : int array;                  (* byte address of each instruction *)
   (* entry chain: engine checks preconditions and enters at the index *)
-  tr_entries : (Region.Rdesc.block * int) list;
+  tr_entries : entry array;
   tr_exits : Hhir.Ir.exit_spec array;
+  (* per-exit link slots (§4.3 bind-jump smashing): once a ReqBind exit
+     resolves to a target translation entry, the engine memoizes it here so
+     later exits chain directly.  [lk_gen] ties the link to the engine's
+     translation-table generation; retranslate-all bumps the generation,
+     which unsmashes every link at once. *)
+  tr_links : link array;
   tr_loc : (int, Vasm.Regalloc.operand) Hashtbl.t;  (* vreg -> location *)
   tr_nslots : int;
   tr_label_index : (int, int) Hashtbl.t;
   tr_bytes : int;                       (* total code bytes *)
+}
+
+and link = {
+  mutable lk_gen : int;                 (* generation the link was made in *)
+  mutable lk_target : (t * entry) option;
 }
 
 let next_id = ref 0
@@ -94,15 +115,17 @@ let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
              Hashtbl.replace label_index vb.vb_id !idx)
         p.vblocks;
       let tr_entries =
-        List.map
-          (fun (rb, irb) ->
-             let i =
-               match Hashtbl.find_opt label_index irb with
-               | Some i -> i
-               | None -> 0
-             in
-             (rb, i))
-          entries
+        Array.of_list
+          (List.map
+             (fun ((rb : Region.Rdesc.block), irb) ->
+                let i =
+                  match Hashtbl.find_opt label_index irb with
+                  | Some i -> i
+                  | None -> 0
+                in
+                { en_block = rb; en_idx = i;
+                  en_guards = Array.of_list rb.b_preconds })
+             entries)
       in
       incr next_id;
       Some { tr_id = !next_id;
@@ -113,6 +136,9 @@ let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
              tr_addr = Array.of_list (List.rev !addrs);
              tr_entries;
              tr_exits = p.vexits;
+             tr_links =
+               Array.init (Array.length p.vexits)
+                 (fun _ -> { lk_gen = -1; lk_target = None });
              tr_loc = ra.ra_loc;
              tr_nslots = ra.ra_nslots;
              tr_label_index = label_index;

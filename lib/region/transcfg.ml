@@ -13,13 +13,23 @@ let blocks_by_func : (int, Rdesc.block list ref) Hashtbl.t = Hashtbl.create 64
 (* all registered blocks by id *)
 let blocks_by_id : (int, Rdesc.block) Hashtbl.t = Hashtbl.create 256
 
-(* observed control transfers between profiling blocks *)
-let arcs : (int * int, int ref) Hashtbl.t = Hashtbl.create 256
+(* observed control transfers between profiling blocks.  Arcs are recorded
+   on every profiling-translation entry, so the key is a single packed int
+   (src in the high bits) — hashing an immediate int, not a tuple — and the
+   last arc is memoized: a loop hammering the same transfer bumps its
+   counter without touching the hashtable at all. *)
+let arc_key ~(src : int) ~(dst : int) : int = (src lsl 31) lor dst
+let arc_unkey (k : int) : int * int = (k lsr 31, k land 0x7FFF_FFFF)
+
+let arcs : (int, int ref) Hashtbl.t = Hashtbl.create 256
+
+let last_arc : (int * int ref) option ref = ref None
 
 let reset () =
   Hashtbl.reset blocks_by_func;
   Hashtbl.reset blocks_by_id;
-  Hashtbl.reset arcs
+  Hashtbl.reset arcs;
+  last_arc := None
 
 let register_block (b : Rdesc.block) =
   Hashtbl.replace blocks_by_id b.b_id b;
@@ -34,9 +44,20 @@ let register_block (b : Rdesc.block) =
   lst := b :: !lst
 
 let record_arc ~(src : int) ~(dst : int) =
-  match Hashtbl.find_opt arcs (src, dst) with
-  | Some r -> incr r
-  | None -> Hashtbl.replace arcs (src, dst) (ref 1)
+  let key = arc_key ~src ~dst in
+  match !last_arc with
+  | Some (k, r) when k = key -> incr r
+  | _ ->
+    let r =
+      match Hashtbl.find_opt arcs key with
+      | Some r -> r
+      | None ->
+        let r = ref 0 in
+        Hashtbl.replace arcs key r;
+        r
+    in
+    incr r;
+    last_arc := Some (key, r)
 
 let block (id : int) : Rdesc.block = Hashtbl.find blocks_by_id id
 
@@ -60,7 +81,8 @@ let build (func_id : int) : t =
       (Hashtbl.create 16) nodes in
   let t_arcs =
     Hashtbl.fold
-      (fun (s, d) w acc ->
+      (fun k w acc ->
+         let s, d = arc_unkey k in
          if Hashtbl.mem ids s && Hashtbl.mem ids d then ((s, d), !w) :: acc
          else acc)
       arcs []

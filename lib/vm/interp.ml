@@ -258,6 +258,52 @@ let lookup_method_for (v : value) (mname : string) : Runtime.Vclass.meth =
   | _ -> fatal "method call %s() on non-object %s" mname (tag_name (tag_of_value v))
 
 (* ------------------------------------------------------------------ *)
+(* Per-call-site method-dispatch caches                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Monomorphic inline caches for [FCallM], keyed by (function id, call pc)
+   and validated on the receiver's class id.  Class method tables are
+   immutable once registered, so a hit is always identical to a full
+   lookup; the table is cleared whenever the class table is rebuilt
+   (Loader.load) or a JIT engine is (re)installed. *)
+
+type meth_site_cache = {
+  mutable sc_cls : int;                       (* receiver class id; -1 = empty *)
+  mutable sc_meth : Runtime.Vclass.meth option;
+}
+
+(* fid -> pc -> cache; rows allocated lazily per function *)
+let meth_site_caches : meth_site_cache array array ref = ref [||]
+
+(** Engine policy switch: also covers the JIT-side dispatch caches. *)
+let dispatch_caches_enabled = ref true
+
+let reset_meth_site_caches () = meth_site_caches := [||]
+
+let meth_site_cache (fid : int) (pc : int) ~(body_len : int) : meth_site_cache =
+  let tbl = !meth_site_caches in
+  let tbl =
+    if fid < Array.length tbl then tbl
+    else begin
+      let bigger = Array.make (max (fid + 1) (2 * Array.length tbl + 8)) [||] in
+      Array.blit tbl 0 bigger 0 (Array.length tbl);
+      meth_site_caches := bigger;
+      bigger
+    end
+  in
+  let row =
+    if Array.length tbl.(fid) > 0 then tbl.(fid)
+    else begin
+      let r =
+        Array.init (max body_len 1) (fun _ -> { sc_cls = -1; sc_meth = None })
+      in
+      tbl.(fid) <- r;
+      r
+    end
+  in
+  row.(pc)
+
+(* ------------------------------------------------------------------ *)
 (* The dispatch loop                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -446,7 +492,22 @@ let rec run (fr : frame) (start_pc : int) : value =
        | FCallM (mname, nargs) ->
          let args = take_args fr nargs in
          let recv = pop fr in
-         let m = lookup_method_for recv mname in
+         let m =
+           match recv with
+           | VObj o when !dispatch_caches_enabled ->
+             let sc =
+               meth_site_cache fr.func.fn_id this_pc
+                 ~body_len:(Array.length code)
+             in
+             (match sc.sc_meth with
+              | Some m when sc.sc_cls = o.data.cls -> m
+              | _ ->
+                let m = lookup_method_for recv mname in
+                sc.sc_cls <- o.data.cls;
+                sc.sc_meth <- Some m;
+                m)
+           | _ -> lookup_method_for recv mname
+         in
          let r = !call_dispatch fr.unit_ m.m_func args recv in
          push fr r
        | NewObjD (cname, nargs) ->

@@ -81,6 +81,9 @@ let wire_hooks (u : Hhbc.Hunit.t) =
 (** Full load path: parse, fold, emit, register, wire.  Resets per-program
     VM state (heap audit, ledger, output) unless [reset] is false. *)
 let load ?(reset = true) ?(with_prelude = true) (src : string) : Hhbc.Hunit.t =
+  (* dispatch caches key on (fid, pc) and class ids, both of which restart
+     from 0 for a new unit — always drop them, even when [reset] is false *)
+  Interp.reset_meth_site_caches ();
   if reset then begin
     Runtime.Heap.reset ();
     Runtime.Ledger.reset ();
@@ -88,6 +91,7 @@ let load ?(reset = true) ?(with_prelude = true) (src : string) : Hhbc.Hunit.t =
     Output.reset ();
     Builtins.rng_seed 0x12345678;
     Interp.call_dispatch := Interp.call_interpreted;
+    Interp.dispatch_caches_enabled := true;
     (* a previously installed JIT engine must not leak into the new unit *)
     Interp.translation_hook := (fun _ _ -> Interp.NoTranslation)
   end;

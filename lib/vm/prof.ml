@@ -85,16 +85,25 @@ let record_call ~(caller : int) ~(callee : int) =
 let call_graph () : ((int * int) * int) list =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) call_edges []
 
-(* --- per-function entry counts (hotness; drives compilation order) --- *)
+(* --- per-function entry counts (hotness; drives compilation order) ---
+   This is bumped on *every* PHP-level call, so it is a dense array rather
+   than a hashtable (no hashing on the call hot path). *)
 
-let func_entries : (int, int) Hashtbl.t = Hashtbl.create 128
+let func_entries : int array ref = ref (Array.make 256 0)
 
 let record_func_entry (fid : int) =
-  Hashtbl.replace func_entries fid
-    (1 + Option.value (Hashtbl.find_opt func_entries fid) ~default:0)
+  let a = !func_entries in
+  if fid < Array.length a then a.(fid) <- a.(fid) + 1
+  else begin
+    let bigger = Array.make (max (fid + 1) (2 * Array.length a)) 0 in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger.(fid) <- 1;
+    func_entries := bigger
+  end
 
 let func_entry_count (fid : int) =
-  Option.value (Hashtbl.find_opt func_entries fid) ~default:0
+  let a = !func_entries in
+  if fid < Array.length a then a.(fid) else 0
 
 let reset () =
   counters := Array.make 1024 0;
@@ -102,4 +111,4 @@ let reset () =
   Hashtbl.reset method_targets;
   Hashtbl.reset method_names;
   Hashtbl.reset call_edges;
-  Hashtbl.reset func_entries
+  func_entries := Array.make 256 0

@@ -286,6 +286,121 @@ let engine_tests = [
       Alcotest.(check bool)
         (Printf.sprintf "region (%d) beats interp (%d)" region_cost interp_cost)
         true (region_cost * 2 < interp_cost));
+  t "retranslate-all invalidates dispatch caches" (fun () ->
+      (* stale-translation reuse through the monomorphic entry caches or
+         the smashed translation links must be impossible after the
+         translation table is rebuilt *)
+      let src = {|
+        class Counter {
+          public $n = 0;
+          function bump($d) { $this->n = $this->n + $d; return $this->n; }
+        }
+        function hot($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s += $i; } return $s; }
+        function main() {
+          $c = new Counter();
+          $t = 0;
+          for ($j = 0; $j < 12; $j++) { $t += hot(25) + $c->bump($j); }
+          echo $t;
+        } |} in
+      let u = Vm.Loader.load src in
+      ignore (Hhbbc.Assert_insert.run u);
+      ignore (Hhbbc.Bc_opt.run u);
+      let opts = Core.Jit_options.default () in
+      opts.mode <- Core.Jit_options.Region;
+      let eng = Core.Engine.install ~opts u in
+      let call () =
+        let r, out = Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" []) in
+        Runtime.Heap.decref r;
+        out
+      in
+      let out1 = call () in
+      let _ = call () in
+      (* collect every translation reachable from the dispatch tables *)
+      let collect () =
+        let ids = ref [] and monos = ref 0 in
+        Array.iter
+          (fun row ->
+             Array.iter
+               (function
+                 | Some (sl : Core.Engine.slot) ->
+                   (match sl.sl_mono with
+                    | Some ((tr : Core.Translation.t), _) ->
+                      incr monos;
+                      ids := tr.tr_id :: !ids
+                    | None -> ());
+                   for i = 0 to sl.sl_len - 1 do
+                     ids := sl.sl_chain.(i).Core.Translation.tr_id :: !ids
+                   done
+                 | None -> ())
+               row)
+          eng.Core.Engine.trans;
+        (List.sort_uniq compare !ids, !monos)
+      in
+      let old_ids, old_monos = collect () in
+      Alcotest.(check bool) "warm translations exist" true (old_ids <> []);
+      Alcotest.(check bool) "monomorphic caches are warm" true (old_monos > 0);
+      (* keep one pre-retranslate translation to inspect its links later *)
+      let old_tr =
+        let found = ref None in
+        Array.iter
+          (fun row ->
+             Array.iter
+               (function
+                 | Some (sl : Core.Engine.slot) ->
+                   if !found = None && sl.sl_len > 0 then
+                     found := Some sl.sl_chain.(0)
+                 | None -> ())
+               row)
+          eng.Core.Engine.trans;
+        Option.get !found
+      in
+      let old_gen = eng.Core.Engine.generation in
+      ignore (Core.Engine.retranslate_all eng);
+      Alcotest.(check bool) "generation bumped" true
+        (eng.Core.Engine.generation > old_gen);
+      (* immediately after the reset every cache is empty... *)
+      let fresh_ids, fresh_monos = collect () in
+      Alcotest.(check int) "monomorphic caches dropped" 0 fresh_monos;
+      (* ...and nothing from the old table survived into the new one *)
+      List.iter
+        (fun id ->
+           Alcotest.(check bool)
+             (Printf.sprintf "translation %d is not stale" id)
+             false (List.mem id old_ids))
+        fresh_ids;
+      (* links smashed before the reset are dead by generation mismatch *)
+      Array.iter
+        (fun (lk : Core.Translation.link) ->
+           if lk.lk_target <> None then
+             Alcotest.(check bool) "stale link is unsmashed" true
+               (lk.lk_gen < eng.Core.Engine.generation))
+        old_tr.Core.Translation.tr_links;
+      let out2 = call () in
+      Alcotest.(check string) "same output after retranslate-all" out1 out2;
+      (* steady state repopulates the caches with fresh translations only *)
+      let _ = call () in
+      let new_ids, _ = collect () in
+      List.iter
+        (fun id ->
+           Alcotest.(check bool)
+             (Printf.sprintf "steady-state translation %d is not stale" id)
+             false (List.mem id old_ids))
+        new_ids;
+      Alcotest.(check (list string)) "no leaks" [] (Runtime.Heap.live_allocations ()));
+  t "output hash identical with dispatch caches disabled" (fun () ->
+      (* the monomorphic / link / method-dispatch caches are wall-clock
+         engineering only: the Region perflab must produce bit-identical
+         output with them off *)
+      let hash_with caches =
+        let r =
+          Server.Perflab.run Core.Jit_options.Region
+            ~tweak:(fun o -> o.Core.Jit_options.dispatch_caches <- caches)
+        in
+        r.Server.Perflab.r_output_hash
+      in
+      let on = hash_with true in
+      let off = hash_with false in
+      Alcotest.(check int) "hash(caches on) = hash(caches off)" on off);
   t "code budget falls back to interpreter" (fun () ->
       let src = {|
         function main() { $s = 0; for ($i = 0; $i < 30; $i++) { $s += $i; } echo $s; }
