@@ -1,7 +1,7 @@
 (** The benchmark harness: regenerates every table and figure of the paper's
     evaluation (§6) on the simulated substrate.
 
-    Usage: main.exe [fig8|fig9|fig10|fig11|table1|micro|all]
+    Usage: main.exe [fig8|fig9|fig10|fig11|table1|ablate|vmstats|micro|json|all]
 
     Absolute numbers are not expected to match the paper (the substrate is
     a deterministic simulator, not Facebook production hardware); the
@@ -33,12 +33,15 @@ let fig8 () =
   let results =
     List.map (fun (n, m) -> (n, Server.Perflab.run m)) modes
   in
-  (* differential sanity: all modes must produce identical output *)
+  (* differential sanity: all modes must produce identical output.  A
+     divergence means the JIT changed program behaviour — fail loudly. *)
   let hashes = List.map (fun (_, r) -> r.Server.Perflab.r_output_hash) results in
   (match hashes with
    | h :: rest ->
-     if List.exists (fun h' -> h' <> h) rest then
-       print_endline "WARNING: output hash mismatch across modes!"
+     if List.exists (fun h' -> h' <> h) rest then begin
+       prerr_endline "ERROR: output hash mismatch across execution modes";
+       exit 1
+     end
    | [] -> ());
   let region =
     (List.assoc "JIT-Region" results).Server.Perflab.r_weighted
@@ -307,6 +310,21 @@ let sample_json (m : mode_sample) : string =
      \"code_bytes\": %d }"
     m.ms_name m.ms_wall_s m.ms_cycles_per_req m.ms_code_bytes
 
+(** Best-of-[reps] wall clock for a tweaked Region perflab, plus the last
+    result (the perflab itself is deterministic). *)
+let measure_region ~(reps : int) ~(tweak : Core.Jit_options.t -> unit)
+  : float * Server.Perflab.result =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = Server.Perflab.run ~tweak Core.Jit_options.Region in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  (!best, Option.get !last)
+
 let json () =
   let reps = 3 in
   let modes =
@@ -321,6 +339,17 @@ let json () =
     | s :: rest -> List.for_all (fun s' -> s'.ms_output_hash = s.ms_output_hash) rest
     | [] -> true
   in
+  (* vmstats snapshot (Region mode, stats on) and the probe-overhead
+     measurement: identical stats-off run, wall-clock delta.  The snapshot
+     is captured before the stats-off runs reset the registry. *)
+  let wall_on, r_on = measure_region ~reps ~tweak:(fun _ -> ()) in
+  Core.Engine.sync_vmstats r_on.Server.Perflab.r_engine;
+  let vmstats_json = Obs.Vmstats.to_json ~indent:"  " () in
+  let wall_off, _ =
+    measure_region ~reps
+      ~tweak:(fun o -> o.Core.Jit_options.stats <- false)
+  in
+  let overhead_pct = 100.0 *. (wall_on -. wall_off) /. wall_off in
   let micro = micro_results () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
@@ -333,7 +362,10 @@ let json () =
        (List.map
           (fun (n, est) -> Printf.sprintf "    \"%s\": %.1f" n est)
           micro));
-  Buffer.add_string current "\n  },\n";
+  Buffer.add_string current "\n  },\n  \"vmstats\": ";
+  Buffer.add_string current vmstats_json;
+  Buffer.add_string current
+    (Printf.sprintf ",\n  \"vmstats_overhead_pct\": %.2f,\n" overhead_pct);
   Buffer.add_string current
     (Printf.sprintf "  \"differential_hash_match\": %b\n  }" hash_match);
   let current = Buffer.contents current in
@@ -358,9 +390,58 @@ let json () =
        Printf.printf "%-14s wall %7.3f s   %10.0f cycles/req\n"
          m.ms_name m.ms_wall_s m.ms_cycles_per_req)
     samples;
-  Printf.printf "differential hash match: %b\n" hash_match
+  Printf.printf "vmstats probe overhead: %+.2f%% wall (stats on vs off)\n"
+    overhead_pct;
+  Printf.printf "differential hash match: %b\n" hash_match;
+  if not hash_match then begin
+    prerr_endline "ERROR: output hash mismatch across execution modes";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
+(* vmstats: key telemetry counters under each Fig. 10 knob             *)
+(* ------------------------------------------------------------------ *)
+
+let vmstats () =
+  hdr "vmstats: telemetry counters under each Fig. 10 knob (Region mode)"
+    "(not a paper figure; counter deltas explain the Fig. 10 slowdowns — \
+     see EXPERIMENTS.md)";
+  let keys =
+    [ ("mono_hit", "dispatch.mono_hit");
+      ("lnk.follow", "link.follow");
+      ("lnk.smash", "link.smashed");
+      ("guard.fail", "guard.fail");
+      ("exit.bind", "exit.bind");
+      ("trans.opt", "translate.optimized") ]
+  in
+  let configs =
+    [ ("(baseline)", (fun (_ : Core.Jit_options.t) -> ()));
+      ("Inlining", fun o -> o.inlining <- false);
+      ("RCE", fun o -> o.rce <- false);
+      ("Guard Relax.", fun o -> o.guard_relax <- false);
+      ("Method Disp.",
+       fun o -> o.method_dispatch <- false; o.inline_cache <- false);
+      ("PGO Layout",
+       fun o -> o.pgo_layout <- false; o.function_sort <- false);
+      ("All PGO", Core.Jit_options.disable_all_pgo);
+      ("Huge Pages", fun o -> o.huge_pages <- false);
+      ("Disp. caches", fun o -> o.dispatch_caches <- false);
+      ("Stats off", fun o -> o.stats <- false) ]
+  in
+  Printf.printf "%-14s" "disabled";
+  List.iter (fun (short, _) -> Printf.printf " %11s" short) keys;
+  print_newline ();
+  List.iter
+    (fun (name, tweak) ->
+       (* counters persist after the run: install resets them at entry *)
+       ignore (Server.Perflab.run ~tweak Core.Jit_options.Region);
+       Printf.printf "%-14s" name;
+       List.iter
+         (fun (_, key) ->
+            Printf.printf " %11d" (Obs.Vmstats.counter_value key))
+         keys;
+       print_newline ())
+    configs
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: sensitivity of the design choices DESIGN.md calls out    *)
@@ -417,12 +498,15 @@ let () =
    | "table1" -> table1 ()
    | "micro" -> micro ()
    | "ablate" -> ablate ()
+   | "vmstats" -> vmstats ()
    | "json" -> json ()
    | "all" ->
-     fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate (); micro ()
+     fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate ();
+     vmstats (); micro ()
    | other ->
      Printf.eprintf
-       "unknown target %S (use fig8|fig9|fig10|fig11|table1|ablate|micro|json|all)\n"
+       "unknown target %S \
+        (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|micro|json|all)\n"
        other;
      exit 1);
   line ()

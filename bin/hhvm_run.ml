@@ -10,6 +10,13 @@
         hhvm_run --dump-regions --entry main prog.mphp
         hhvm_run --stats prog.mphp
         hhvm_run --no-rce --no-inlining prog.mphp # toggle optimizations
+
+    Telemetry (lib/obs):
+
+        hhvm_run --vmstats prog.mphp              # counter dump after run
+        hhvm_run --vmstats=json --perflab         # JSON dump, perflab mix
+        hhvm_run --tc-print=10 prog.mphp          # top-10 translations
+        hhvm_run --trace link,exit --trace-out t.trace.jsonl prog.mphp
 *)
 
 open Cmdliner
@@ -39,16 +46,24 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
+(** Post-run telemetry reports: tc-print ranking, vmstats dump, trace
+    flush.  Gauges are synced from the engine just before dumping. *)
+let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
+    ~(tc_print : int option) : unit =
+  (match tc_print with
+   | Some n -> print_string (Core.Tc_print.report ~top:n engine)
+   | None -> ());
+  (match vmstats with
+   | Some fmt ->
+     Core.Engine.sync_vmstats engine;
+     if fmt = "json" then print_endline (Obs.Vmstats.to_json ())
+     else print_string (Obs.Vmstats.dump_text ())
+   | None -> ());
+  Obs.Trace.close ()
+
 let run file mode entry dump_bc dump_regions stats no_rce no_inlining
-    no_relax no_dispatch repeat =
-  let src = read_file file in
-  let unit_ = Vm.Loader.load src in
-  ignore (Hhbbc.Assert_insert.run unit_);
-  ignore (Hhbbc.Bc_opt.run unit_);
-  if dump_bc then begin
-    print_string (Hhbc.Disasm.unit_to_string unit_);
-    exit 0
-  end;
+    no_relax no_dispatch repeat vmstats tc_print trace trace_out no_stats
+    perflab =
   let opts = Core.Jit_options.default () in
   opts.mode <- mode;
   if no_rce then opts.rce <- false;
@@ -58,68 +73,112 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     opts.method_dispatch <- false;
     opts.inline_cache <- false
   end;
-  let engine = Core.Engine.install ~opts unit_ in
-  let call () =
-    match Hhbc.Hunit.find_func unit_ entry with
-    | None ->
-      Printf.eprintf "error: function %s not found\n" entry;
-      exit 1
-    | Some _ ->
-      let r, out =
-        Vm.Output.capture (fun () -> Vm.Interp.call_by_name unit_ entry [])
-      in
-      Runtime.Heap.decref r;
-      print_string out
-  in
-  (try
-     for i = 1 to repeat do
-       call ();
-       if mode = Core.Jit_options.Region && i = max 1 (repeat / 2) then
-         ignore (Core.Engine.retranslate_all engine)
-     done
-   with
-   | Vm.Interp.Php_exception v ->
-     Printf.eprintf "\nFatal error: uncaught exception: %s\n"
-       (Runtime.Value.debug_string v);
-     Runtime.Heap.decref v;
-     exit 255
-   | Runtime.Value.Php_fatal msg ->
-     Printf.eprintf "\nFatal error: %s\n" msg;
-     exit 255);
-  if dump_regions then begin
-    print_endline "\n=== profiled regions ===";
-    Hashtbl.iter
-      (fun fid _ ->
-         let f = Hhbc.Hunit.func unit_ fid in
-         List.iter
-           (fun region ->
-              Printf.printf "--- %s ---\n%s" f.fn_name
-                (Region.Rdesc.to_string ~func:f (Region.Relax.run region)))
-           (Region.Form.form_func_regions fid))
-      Region.Transcfg.blocks_by_func
-  end;
-  if stats then begin
-    Printf.printf "\n--- stats ---\n";
-    Printf.printf "cycles: %d (interp %d, compiled %d)\n"
-      (Runtime.Ledger.read ())
-      !Runtime.Ledger.interp_cycles !Runtime.Ledger.jit_cycles;
-    Printf.printf "translations: %d live, %d profiling, %d optimized\n"
-      engine.Core.Engine.n_live engine.Core.Engine.n_profiling
-      engine.Core.Engine.n_optimized;
-    Printf.printf "code cache: %d bytes\n" (Core.Engine.code_bytes engine);
-    Printf.printf "heap: %d allocated, %d freed, %d live; %d increfs, %d decrefs\n"
-      Runtime.Heap.stats.allocated Runtime.Heap.stats.freed
-      Runtime.Heap.stats.live Runtime.Heap.stats.incref_ops
-      Runtime.Heap.stats.decref_ops;
-    let leaks = Runtime.Heap.live_allocations () in
-    if leaks <> [] then
-      Printf.printf "LEAKS: %s\n" (String.concat ", " leaks)
+  if no_stats then opts.stats <- false;
+  opts.trace <- trace;
+  opts.trace_out <- trace_out;
+  if perflab then begin
+    (* replay the Perflab endpoint mix instead of a source file: the
+       standard workload for inspecting steady-state JIT telemetry *)
+    let cfg = Server.Perflab.default_config () in
+    cfg.Server.Perflab.c_opts.mode <- opts.mode;
+    let o = cfg.Server.Perflab.c_opts in
+    o.rce <- opts.rce; o.inlining <- opts.inlining;
+    o.guard_relax <- opts.guard_relax;
+    o.method_dispatch <- opts.method_dispatch;
+    o.inline_cache <- opts.inline_cache;
+    o.stats <- opts.stats; o.trace <- opts.trace;
+    o.trace_out <- opts.trace_out;
+    let r = Server.Perflab.measure cfg in
+    Printf.printf "perflab[%s]: %.1f +- %.1f cycles/request, %d code bytes\n"
+      (match mode with
+       | Core.Jit_options.Interp -> "interp"
+       | Core.Jit_options.Tracelet -> "tracelet"
+       | Core.Jit_options.ProfileOnly -> "profile"
+       | Core.Jit_options.Region -> "region")
+      r.Server.Perflab.r_weighted r.Server.Perflab.r_ci99
+      r.Server.Perflab.r_code_bytes;
+    report_telemetry r.Server.Perflab.r_engine ~vmstats ~tc_print
+  end else begin
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "error: FILE required unless --perflab is given\n";
+        exit 2
+    in
+    let src = read_file file in
+    let unit_ = Vm.Loader.load src in
+    ignore (Hhbbc.Assert_insert.run unit_);
+    ignore (Hhbbc.Bc_opt.run unit_);
+    if dump_bc then begin
+      print_string (Hhbc.Disasm.unit_to_string unit_);
+      exit 0
+    end;
+    let engine = Core.Engine.install ~opts unit_ in
+    let call () =
+      match Hhbc.Hunit.find_func unit_ entry with
+      | None ->
+        Printf.eprintf "error: function %s not found\n" entry;
+        exit 1
+      | Some _ ->
+        let r, out =
+          Vm.Output.capture (fun () -> Vm.Interp.call_by_name unit_ entry [])
+        in
+        Runtime.Heap.decref r;
+        print_string out
+    in
+    (try
+       for i = 1 to repeat do
+         call ();
+         if mode = Core.Jit_options.Region && i = max 1 (repeat / 2) then
+           ignore (Core.Engine.retranslate_all engine)
+       done
+     with
+     | Vm.Interp.Php_exception v ->
+       Printf.eprintf "\nFatal error: uncaught exception: %s\n"
+         (Runtime.Value.debug_string v);
+       Runtime.Heap.decref v;
+       exit 255
+     | Runtime.Value.Php_fatal msg ->
+       Printf.eprintf "\nFatal error: %s\n" msg;
+       exit 255);
+    if dump_regions then begin
+      print_endline "\n=== profiled regions ===";
+      Hashtbl.iter
+        (fun fid _ ->
+           let f = Hhbc.Hunit.func unit_ fid in
+           List.iter
+             (fun region ->
+                Printf.printf "--- %s ---\n%s" f.fn_name
+                  (Region.Rdesc.to_string ~func:f (Region.Relax.run region)))
+             (Region.Form.form_func_regions fid))
+        Region.Transcfg.blocks_by_func
+    end;
+    if stats then begin
+      Printf.printf "\n--- stats ---\n";
+      Printf.printf "cycles: %d (interp %d, compiled %d)\n"
+        (Runtime.Ledger.read ())
+        !Runtime.Ledger.interp_cycles !Runtime.Ledger.jit_cycles;
+      Printf.printf "translations: %d live, %d profiling, %d optimized\n"
+        engine.Core.Engine.n_live engine.Core.Engine.n_profiling
+        engine.Core.Engine.n_optimized;
+      Printf.printf "code cache: %d bytes\n" (Core.Engine.code_bytes engine);
+      Printf.printf "heap: %d allocated, %d freed, %d live; %d increfs, %d decrefs\n"
+        Runtime.Heap.stats.allocated Runtime.Heap.stats.freed
+        Runtime.Heap.stats.live Runtime.Heap.stats.incref_ops
+        Runtime.Heap.stats.decref_ops;
+      let leaks = Runtime.Heap.live_allocations () in
+      if leaks <> [] then
+        Printf.printf "LEAKS: %s\n" (String.concat ", " leaks)
+    end;
+    report_telemetry engine ~vmstats ~tc_print
   end
 
 let cmd =
   let file =
-    Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"FILE" ~doc:"MiniPHP source file")
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+           ~doc:"MiniPHP source file (optional with $(b,--perflab))")
   in
   let mode =
     Arg.(value & opt mode_conv Core.Jit_options.Region
@@ -158,9 +217,43 @@ let cmd =
            ~doc:"Run the entry function N times (region mode retranslates \
                  half-way)")
   in
+  let vmstats =
+    Arg.(value & opt ~vopt:(Some "text") (some string) None
+         & info [ "vmstats" ] ~docv:"FMT"
+           ~doc:"Dump the vmstats telemetry registry after the run \
+                 (FMT: text or json)")
+  in
+  let tc_print =
+    Arg.(value & opt ~vopt:(Some 20) (some int) None
+         & info [ "tc-print" ] ~docv:"N"
+           ~doc:"Print the top-N translations by execution count, with \
+                 guard chains and link targets")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"CATS"
+           ~doc:"Enable JIT trace-event categories (comma-separated: \
+                 translate, retranslate-all, link, exit, guard; or 'all')")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write trace events as JSONL to FILE")
+  in
+  let no_stats =
+    Arg.(value & flag
+         & info [ "no-stats" ]
+           ~doc:"Disable vmstats probes (the overhead baseline)")
+  in
+  let perflab =
+    Arg.(value & flag
+         & info [ "perflab" ]
+           ~doc:"Run the Perflab endpoint mix instead of a source file")
+  in
   let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
   Cmd.v (Cmd.info "hhvm_run" ~doc)
     Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
-          $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat)
+          $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat
+          $ vmstats $ tc_print $ trace $ trace_out $ no_stats $ perflab)
 
 let () = exit (Cmd.eval cmd)

@@ -39,8 +39,6 @@ type t = {
   (* bumped by retranslate-all; stale translation links (and anything else
      that caches a pre-reset translation) die by generation mismatch *)
   mutable generation : int;
-  (* JIT_TRACE, read once at install (not per translation entry) *)
-  trace : bool;
   mutable phase : phase;
   mutable optimized_published : bool;
   (* stats *)
@@ -52,6 +50,32 @@ type t = {
 }
 
 let current : t option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry handles (registered once, bumped through the handle)      *)
+(* ------------------------------------------------------------------ *)
+
+let c_mono_hit = Obs.Vmstats.counter "dispatch.mono_hit"
+let c_mono_miss = Obs.Vmstats.counter "dispatch.mono_miss"
+let c_chain_hit = Obs.Vmstats.counter "dispatch.chain_hit"
+let c_chain_miss = Obs.Vmstats.counter "dispatch.chain_miss"
+let h_chain_len = Obs.Vmstats.histogram "dispatch.chain_len"
+let c_link_follow = Obs.Vmstats.counter "link.follow"
+let c_link_smashed = Obs.Vmstats.counter "link.smashed"
+let c_link_stale = Obs.Vmstats.counter "link.stale"
+let c_link_invalidated = Obs.Vmstats.counter "link.invalidated"
+let c_guard_fail = Obs.Vmstats.counter "guard.fail"
+let c_exit_bind = Obs.Vmstats.counter "exit.bind"
+let c_exit_interp = Obs.Vmstats.counter "exit.interp_anchor"
+let c_exit_inline = Obs.Vmstats.counter "exit.inline"
+let c_exit_return = Obs.Vmstats.counter "exit.return"
+let c_exit_unwind = Obs.Vmstats.counter "exit.unwind"
+let c_tr_live = Obs.Vmstats.counter "translate.live"
+let c_tr_prof = Obs.Vmstats.counter "translate.profiling"
+let c_tr_opt = Obs.Vmstats.counter "translate.optimized"
+let c_tr_rejected = Obs.Vmstats.counter "translate.rejected"
+let h_tr_bytes = Obs.Vmstats.histogram "translate.bytes"
+let c_retranslate = Obs.Vmstats.counter "retranslate.runs"
 
 (* ------------------------------------------------------------------ *)
 (* Translation tables                                                  *)
@@ -167,8 +191,29 @@ let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
   let ra = Vasm.Regalloc.run prog ~nregs:eng.opts.nregs in
   let entry_block = Rd.entry region in
   eng.compile_count <- eng.compile_count + 1;
-  Translation.assemble ~fid ~srckey:entry_block.b_start ~kind ~ra ~sections
-    ~entries:lowered.lw_entries ~cache:eng.cache
+  match
+    Translation.assemble ~fid ~srckey:entry_block.b_start ~kind ~ra ~sections
+      ~entries:lowered.lw_entries ~cache:eng.cache
+  with
+  | Some tr as res ->
+    (match kind with
+     | Translation.KLive -> Obs.Vmstats.bump c_tr_live
+     | Translation.KProfiling -> Obs.Vmstats.bump c_tr_prof
+     | Translation.KOptimized -> Obs.Vmstats.bump c_tr_opt);
+    Obs.Vmstats.observe h_tr_bytes tr.Translation.tr_bytes;
+    if Obs.Trace.on Obs.Trace.Translate then
+      Obs.Trace.emit Obs.Trace.Translate
+        [ ("tr", Obs.Trace.I tr.Translation.tr_id);
+          ("fid", Obs.Trace.I fid);
+          ("srckey", Obs.Trace.I entry_block.b_start);
+          ("kind", Obs.Trace.S (Translation.kind_name kind));
+          ("bytes", Obs.Trace.I tr.Translation.tr_bytes);
+          ("blocks", Obs.Trace.I (List.length region.Rd.r_blocks)) ];
+    res
+  | None ->
+    (* code budget exhausted: the caller marks the srckey no-compile *)
+    Obs.Vmstats.bump c_tr_rejected;
+    None
 
 let publish (eng : t) (tr : Translation.t) =
   let sl = get_or_create_slot eng tr.tr_fid tr.tr_srckey in
@@ -262,7 +307,19 @@ let entry_matches (frame : Vm.Interp.frame) (en : Translation.entry) : bool =
   let n = Array.length gs in
   Runtime.Ledger.charge_jit (2 * n);
   let rec ok i = i >= n || (guard_matches frame gs.(i) && ok (i + 1)) in
-  ok 0
+  let matched = ok 0 in
+  if not matched then begin
+    Obs.Vmstats.bump c_guard_fail;
+    if Obs.Trace.on Obs.Trace.Guard then begin
+      let b = en.Translation.en_block in
+      Obs.Trace.emit Obs.Trace.Guard
+        [ ("fid", Obs.Trace.I b.Rd.b_func);
+          ("srckey", Obs.Trace.I b.Rd.b_start);
+          ("block", Obs.Trace.I b.Rd.b_id);
+          ("guards", Obs.Trace.I n) ]
+    end
+  end;
+  matched
 
 (** Find a translation entry whose preconditions hold for the live state.
     The slot's monomorphic last-hit cache is consulted first: steady-state
@@ -276,8 +333,12 @@ let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
     let mono_hit =
       if eng.opts.dispatch_caches then
         match sl.sl_mono with
-        | Some (_, en) as hit when entry_matches frame en -> hit
-        | _ -> None
+        | Some (_, en) as hit when entry_matches frame en ->
+          Obs.Vmstats.bump c_mono_hit;
+          hit
+        | _ ->
+          Obs.Vmstats.bump c_mono_miss;
+          None
       else None
     in
     match mono_hit with
@@ -298,8 +359,11 @@ let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
         incr i
       done;
       (match !found with
-       | Some _ as hit when eng.opts.dispatch_caches -> sl.sl_mono <- hit
-       | _ -> ());
+       | Some _ ->
+         Obs.Vmstats.bump c_chain_hit;
+         Obs.Vmstats.observe h_chain_len sl.sl_len;
+         if eng.opts.dispatch_caches then sl.sl_mono <- !found
+       | None -> Obs.Vmstats.bump c_chain_miss);
       !found
 
 (** Materialize an inlined callee frame from exit metadata (§5.3.1). *)
@@ -345,9 +409,16 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
           let lk = src.Translation.tr_links.(eid) in
           if lk.Translation.lk_gen = eng.generation then
             (match lk.Translation.lk_target with
-             | Some (_, en) as tgt when entry_matches frame en -> tgt
+             | Some (_, en) as tgt when entry_matches frame en ->
+               Obs.Vmstats.bump c_link_follow;
+               tgt
              | _ -> None)
-          else None
+          else begin
+            (* smashed in a previous generation; dead since retranslate-all *)
+            if lk.Translation.lk_target <> None then
+              Obs.Vmstats.bump c_link_stale;
+            None
+          end
         | _ -> None
       in
       match linked with
@@ -374,10 +445,17 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
         in
         (* smash the bind: remember this exit's resolved target *)
         (match found, via with
-         | Some _, Some (src, eid) when eng.opts.dispatch_caches ->
+         | Some (dst, _), Some (src, eid) when eng.opts.dispatch_caches ->
            let lk = src.Translation.tr_links.(eid) in
            lk.Translation.lk_gen <- eng.generation;
-           lk.Translation.lk_target <- found
+           lk.Translation.lk_target <- found;
+           Obs.Vmstats.bump c_link_smashed;
+           if Obs.Trace.on Obs.Trace.Link then
+             Obs.Trace.emit Obs.Trace.Link
+               [ ("event", Obs.Trace.S "smash");
+                 ("src", Obs.Trace.I src.Translation.tr_id);
+                 ("exit", Obs.Trace.I eid);
+                 ("dst", Obs.Trace.I dst.Translation.tr_id) ]
          | _ -> ());
         found
     in
@@ -396,28 +474,43 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
        | Translation.KProfiling ->
          (match !prev_prof_block with
           | Some src ->
-            if eng.trace then
-              Printf.eprintf "ARC %d -> %d\n" src rb.Rd.b_id;
+            if Obs.Trace.on Obs.Trace.Link then
+              Obs.Trace.emit Obs.Trace.Link
+                [ ("event", Obs.Trace.S "arc");
+                  ("src", Obs.Trace.I src);
+                  ("dst", Obs.Trace.I rb.Rd.b_id) ];
             Region.Transcfg.record_arc ~src ~dst:rb.Rd.b_id
           | None -> ());
          prev_prof_block := Some rb.Rd.b_id
        | _ -> prev_prof_block := None);
       let entry_sp = frame.sp in
-      if eng.trace then
-        Printf.eprintf "ENTER tr=%d fid=%d pc=%d sp=%d\n"
-          tr.tr_id tr.tr_fid pc entry_sp;
       let outcome, reader =
         Exec.run_with_state eng.machine tr ~entry:idx ~frame ~entry_sp
       in
-      if eng.trace then
-        Printf.eprintf "LEAVE tr=%d fid=%d -> %s\n" tr.tr_id tr.tr_fid
-          (match outcome with
-           | Exec.XReturn _ -> "return"
-           | Exec.XBind e ->
-             let es = tr.tr_exits.(e) in
-             Printf.sprintf "bind pc=%d spd=%d interp=%b inline=%b"
-               es.es_pc es.es_spdelta es.es_interp (es.es_inline <> None)
-           | Exec.XUnwind _ -> "unwind");
+      (match outcome with
+       | Exec.XReturn _ -> Obs.Vmstats.bump c_exit_return
+       | Exec.XBind e ->
+         let es = tr.tr_exits.(e) in
+         if es.es_inline <> None then Obs.Vmstats.bump c_exit_inline
+         else if es.es_interp then Obs.Vmstats.bump c_exit_interp
+         else Obs.Vmstats.bump c_exit_bind
+       | Exec.XUnwind _ -> Obs.Vmstats.bump c_exit_unwind);
+      if Obs.Trace.on Obs.Trace.Exit then
+        Obs.Trace.emit Obs.Trace.Exit
+          (("tr", Obs.Trace.I tr.tr_id)
+           :: ("fid", Obs.Trace.I tr.tr_fid)
+           :: (match outcome with
+               | Exec.XReturn _ -> [ ("kind", Obs.Trace.S "return") ]
+               | Exec.XBind e ->
+                 let es = tr.tr_exits.(e) in
+                 [ ("kind", Obs.Trace.S "bind");
+                   ("pc", Obs.Trace.I es.es_pc);
+                   ("spdelta", Obs.Trace.I es.es_spdelta);
+                   ("interp", Obs.Trace.B es.es_interp);
+                   ("inline", Obs.Trace.B (es.es_inline <> None)) ]
+               | Exec.XUnwind (e, _) ->
+                 [ ("kind", Obs.Trace.S "unwind");
+                   ("exit", Obs.Trace.I e) ]));
       (match outcome with
        | Exec.XReturn v -> Vm.Interp.Returned v
        | Exec.XBind eid ->
@@ -482,6 +575,7 @@ let func_size_estimate (fid : int) : int =
     code.  Profiling translations are dropped (their section is reclaimed).
     Returns the number of optimized translations produced. *)
 let retranslate_all (eng : t) : int =
+  Obs.Vmstats.bump c_retranslate;
   eng.phase <- POptimized;
   (* candidate functions, hottest first *)
   let funcs =
@@ -510,6 +604,24 @@ let retranslate_all (eng : t) : int =
      tables also clear every monomorphic entry cache, and bumping the
      generation unsmashes every translation link — stale translations
      cannot be re-entered through any cache after this point. *)
+  if Obs.Vmstats.on () then
+    (* count the links the generation bump is about to kill *)
+    Array.iter
+      (fun row ->
+         Array.iter
+           (function
+             | Some sl ->
+               for i = 0 to sl.sl_len - 1 do
+                 Array.iter
+                   (fun (lk : Translation.link) ->
+                      if lk.Translation.lk_target <> None
+                      && lk.Translation.lk_gen = eng.generation then
+                        Obs.Vmstats.bump c_link_invalidated)
+                   sl.sl_chain.(i).Translation.tr_links
+               done
+             | None -> ())
+           row)
+      eng.trans;
   eng.generation <- eng.generation + 1;
   eng.trans <- fresh_trans eng.hunit;
   eng.nocompile <- fresh_nocompile eng.hunit;
@@ -539,6 +651,11 @@ let retranslate_all (eng : t) : int =
   (* map the hot section onto huge pages (§5.1.2) *)
   let lo, hi = Simcpu.Codecache.main_range eng.cache in
   Simcpu.Itlb.set_huge eng.machine.itlb ~enabled:eng.opts.huge_pages ~lo ~hi;
+  if Obs.Trace.on Obs.Trace.Retranslate then
+    Obs.Trace.emit Obs.Trace.Retranslate
+      [ ("generation", Obs.Trace.I eng.generation);
+        ("functions", Obs.Trace.I (List.length order));
+        ("optimized", Obs.Trace.I !count) ];
   !count
 
 (* ------------------------------------------------------------------ *)
@@ -559,6 +676,13 @@ let call_func (eng : t) (u : Hhbc.Hunit.t) (fid : int) (args : value array)
     engine (call dispatcher + translation hook). *)
 let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   let opts = match opts with Some o -> o | None -> Jit_options.default () in
+  (* one config-resolution step: environment fallbacks (JIT_TRACE,
+     JIT_TRACE_OUT, JIT_STATS) fold into [opts] here, once — nothing on
+     the dispatch path reads the environment *)
+  Jit_options.resolve_env opts;
+  Obs.Vmstats.enabled := opts.stats;
+  Obs.Vmstats.reset ();
+  Obs.Trace.configure ~spec:opts.trace ?path:opts.trace_out ();
   let eng = {
     opts;
     hunit = u;
@@ -567,7 +691,6 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
     trans = fresh_trans u;
     nocompile = fresh_nocompile u;
     generation = 0;
-    trace = Sys.getenv_opt "JIT_TRACE" <> None;
     phase = PProfiling;
     optimized_published = false;
     n_live = 0; n_profiling = 0; n_optimized = 0;
@@ -576,6 +699,7 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   current := Some eng;
   Region.Transcfg.reset ();
   Vm.Prof.reset ();
+  Vm.Interp.instr_count := 0;
   Region.Relax.reset_stats ();
   Hhir_opt.Rce.reset_stats ();
   (* the interpreter's per-call-site dispatch caches follow the engine's
@@ -592,3 +716,36 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   eng
 
 let code_bytes (eng : t) : int = Simcpu.Codecache.bytes_used eng.cache
+
+(** Sample the engine's level-style metrics into vmstats gauges.  These are
+    cheap to read on demand but would be expensive to maintain per event,
+    so dumps ([--vmstats], bench json) sync them just before reading. *)
+let sync_vmstats (eng : t) : unit =
+  let g name v = Obs.Vmstats.set (Obs.Vmstats.gauge name) v in
+  let m = eng.machine in
+  let cb s = Simcpu.Codecache.section_bytes eng.cache s in
+  g "code.bytes.main" (cb Simcpu.Codecache.Main);
+  g "code.bytes.cold" (cb Simcpu.Codecache.Cold);
+  g "code.bytes.prof" (cb Simcpu.Codecache.Prof);
+  g "code.bytes.live" (cb Simcpu.Codecache.Live);
+  g "code.bytes.used" (Simcpu.Codecache.bytes_used eng.cache);
+  g "icache.accesses" m.icache.Simcpu.Icache.accesses;
+  g "icache.misses" m.icache.Simcpu.Icache.misses;
+  g "itlb.accesses" m.itlb.Simcpu.Itlb.accesses;
+  g "itlb.misses" m.itlb.Simcpu.Itlb.misses;
+  g "exec.instrs" m.instrs_executed;
+  g "cycles.live" m.cycles_live;
+  g "cycles.prof" m.cycles_prof;
+  g "cycles.opt" m.cycles_opt;
+  g "cycles.total" (Runtime.Ledger.read ());
+  g "heap.allocated" Runtime.Heap.stats.Runtime.Heap.allocated;
+  g "heap.freed" Runtime.Heap.stats.Runtime.Heap.freed;
+  g "heap.live" Runtime.Heap.stats.Runtime.Heap.live;
+  g "heap.incref_ops" Runtime.Heap.stats.Runtime.Heap.incref_ops;
+  g "heap.decref_ops" Runtime.Heap.stats.Runtime.Heap.decref_ops;
+  g "interp.instrs" !Vm.Interp.instr_count;
+  g "trans.live" eng.n_live;
+  g "trans.profiling" eng.n_profiling;
+  g "trans.optimized" eng.n_optimized;
+  g "engine.generation" eng.generation;
+  g "engine.compiles" eng.compile_count

@@ -261,6 +261,7 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
     | Slot s -> extra := !extra + 2; slots.(s) <- v
   in
   let result : outcome option ref = ref None in
+  tr.tr_execs <- tr.tr_execs + 1;
   let ip = ref entry in
   let code = tr.tr_code and addrs = tr.tr_addr in
   let jump label = ip := Hashtbl.find tr.tr_label_index label - 1 in
@@ -353,6 +354,7 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
      | VNop -> ());
     let c = cycles i + fetch + !extra in
     charge c;
+    tr.tr_cycles <- tr.tr_cycles + c;
     (match tr.tr_kind with
      | Translation.KLive -> m.cycles_live <- m.cycles_live + c
      | Translation.KProfiling -> m.cycles_prof <- m.cycles_prof + c

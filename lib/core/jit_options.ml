@@ -31,6 +31,16 @@ type t = {
      engineering — they never change program output — but can be switched
      off to verify exactly that (see test_jit's cache-parity test). *)
   mutable dispatch_caches : bool;
+  (* observability (lib/obs): the vmstats probe knob and the trace-event
+     configuration.  [stats] gates every Vmstats probe in the engine,
+     interpreter, region former, HHIR pipeline and SimCPU (default on; the
+     overhead is benchmarked, see EXPERIMENTS.md).  [trace] is a trace
+     category spec ("translate,link", "all", ...; None = off) and
+     [trace_out] an optional JSONL sink path; both are resolved once at
+     engine install — no per-run environment reads anywhere else. *)
+  mutable stats : bool;
+  mutable trace : string option;
+  mutable trace_out : string option;
   (* policy *)
   mutable code_budget : int option;   (* bytes; None = unlimited *)
   mutable max_live_per_srckey : int;  (* retranslation-chain length limit *)
@@ -55,6 +65,9 @@ let default () : t = {
   gvn = true;
   simplify = true;
   dispatch_caches = true;
+  stats = true;
+  trace = None;
+  trace_out = None;
   code_budget = None;
   max_live_per_srckey = 4;
   nregs = 12;
@@ -62,6 +75,22 @@ let default () : t = {
   max_inline_blocks = 4;
   max_inline_instrs = 40;
 }
+
+(** The single config-resolution step for environment knobs, run once at
+    engine install.  Explicit settings (CLI flags) win: [JIT_TRACE] (a
+    category spec; the legacy "1" means all categories) and
+    [JIT_TRACE_OUT] only apply when the corresponding field is still
+    unset, and [JIT_STATS=0] acts as a stats kill-switch. *)
+let resolve_env (t : t) : unit =
+  (match t.trace, Sys.getenv_opt "JIT_TRACE" with
+   | None, (Some _ as e) -> t.trace <- e
+   | _ -> ());
+  (match t.trace_out, Sys.getenv_opt "JIT_TRACE_OUT" with
+   | None, (Some _ as e) -> t.trace_out <- e
+   | _ -> ());
+  (match Sys.getenv_opt "JIT_STATS" with
+   | Some ("0" | "false" | "off") -> t.stats <- false
+   | _ -> ())
 
 (** Disable every profile-guided optimization except region formation and
     partial inlining — the paper's "All PGO" experiment (§6.3). *)

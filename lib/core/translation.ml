@@ -5,6 +5,9 @@ open Vasm.Vinstr
 
 type kind = KLive | KProfiling | KOptimized
 
+let kind_name = function
+  | KLive -> "live" | KProfiling -> "profiling" | KOptimized -> "optimized"
+
 (** An engine entry point: the region block whose preconditions gate entry,
     the instruction index to start at, and the block's guards in array form
     (precomputed so the engine's per-entry guard walk is allocation-free
@@ -35,6 +38,10 @@ type t = {
   tr_nslots : int;
   tr_label_index : (int, int) Hashtbl.t;
   tr_bytes : int;                       (* total code bytes *)
+  (* execution telemetry, maintained by Exec: entry count and simulated
+     cycles spent inside this translation.  tc-print ranks by these. *)
+  mutable tr_execs : int;
+  mutable tr_cycles : int;
 }
 
 and link = {
@@ -142,4 +149,6 @@ let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
              tr_loc = ra.ra_loc;
              tr_nslots = ra.ra_nslots;
              tr_label_index = label_index;
-             tr_bytes = hot_bytes + cold_bytes }
+             tr_bytes = hot_bytes + cold_bytes;
+             tr_execs = 0;
+             tr_cycles = 0 }

@@ -143,6 +143,43 @@ let can_throw = function
   | SetL _ | PopL _ | PushL _ | CGetQuietL _ | IsTypeL _ -> false
   | _ -> true
 
+(* --- dense opcode numbering (telemetry: per-opcode execution counters
+   index an array by this id; no hashing on the interpreter hot path).
+   [opcode_names] must stay aligned with [opcode_id]. *)
+
+let opcode_id (i : t) : int =
+  match i with
+  | Int _ -> 0 | Dbl _ -> 1 | String _ -> 2 | True -> 3 | False -> 4
+  | Null -> 5 | NewArray -> 6 | AddNewElemC -> 7 | AddElemC -> 8
+  | CGetL _ -> 9 | CGetL2 _ -> 10 | CGetQuietL _ -> 11 | PushL _ -> 12
+  | SetL _ -> 13 | PopL _ -> 14 | PopC -> 15 | Dup -> 16 | IncDecL _ -> 17
+  | IssetL _ -> 18 | UnsetL _ -> 19 | Binop _ -> 20 | Not -> 21 | Neg -> 22
+  | BitNot -> 23 | CastInt -> 24 | CastDbl -> 25 | CastString -> 26
+  | CastBool -> 27 | InstanceOf _ -> 28 | IsTypeL _ -> 29 | Jmp _ -> 30
+  | JmpZ _ -> 31 | JmpNZ _ -> 32 | RetC -> 33 | Throw -> 34 | Fatal _ -> 35
+  | FCall _ -> 36 | FCallD _ -> 37 | FCallBuiltin _ -> 38 | FCallM _ -> 39
+  | NewObjD _ -> 40 | This -> 41 | QueryM_Elem -> 42 | QueryM_Prop _ -> 43
+  | SetM_ElemL _ -> 44 | SetM_NewElemL _ -> 45 | UnsetM_ElemL _ -> 46
+  | SetM_Prop _ -> 47 | IncDecM_Prop _ -> 48 | IssetM_Elem -> 49
+  | IssetM_Prop _ -> 50 | Print -> 51 | IterInit _ -> 52 | IterKV _ -> 53
+  | IterNext _ -> 54 | IterFree _ -> 55 | AssertRATL _ -> 56
+  | AssertRATStk _ -> 57 | Nop -> 58
+
+let opcode_names : string array = [|
+  "Int"; "Dbl"; "String"; "True"; "False"; "Null"; "NewArray";
+  "AddNewElemC"; "AddElemC"; "CGetL"; "CGetL2"; "CGetQuietL"; "PushL";
+  "SetL"; "PopL"; "PopC"; "Dup"; "IncDecL"; "IssetL"; "UnsetL"; "Binop";
+  "Not"; "Neg"; "BitNot"; "CastInt"; "CastDbl"; "CastString"; "CastBool";
+  "InstanceOf"; "IsTypeL"; "Jmp"; "JmpZ"; "JmpNZ"; "RetC"; "Throw";
+  "Fatal"; "FCall"; "FCallD"; "FCallBuiltin"; "FCallM"; "NewObjD"; "This";
+  "QueryM_Elem"; "QueryM_Prop"; "SetM_ElemL"; "SetM_NewElemL";
+  "UnsetM_ElemL"; "SetM_Prop"; "IncDecM_Prop"; "IssetM_Elem";
+  "IssetM_Prop"; "Print"; "IterInit"; "IterKV"; "IterNext"; "IterFree";
+  "AssertRATL"; "AssertRATStk"; "Nop";
+|]
+
+let opcode_count = Array.length opcode_names
+
 let binop_name = function
   | OpAdd -> "Add" | OpSub -> "Sub" | OpMul -> "Mul" | OpDiv -> "Div"
   | OpMod -> "Mod" | OpConcat -> "Concat"

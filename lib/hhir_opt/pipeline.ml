@@ -16,20 +16,45 @@ type pass_stats = {
   ps_unreachable : int;
 }
 
+(* per-pass telemetry: wall time spent in each pass plus the number of
+   instructions each one changed/removed, for `--vmstats` pipeline reports *)
+let t_simplify = Obs.Vmstats.timer "pass.simplify"
+let t_load_elim = Obs.Vmstats.timer "pass.load_elim"
+let t_gvn = Obs.Vmstats.timer "pass.gvn"
+let t_store_elim = Obs.Vmstats.timer "pass.store_elim"
+let t_rce = Obs.Vmstats.timer "pass.rce"
+let t_dce = Obs.Vmstats.timer "pass.dce"
+let t_unreachable = Obs.Vmstats.timer "pass.unreachable"
+let c_simplify = Obs.Vmstats.counter "pass.simplify.changed"
+let c_load_elim = Obs.Vmstats.counter "pass.load_elim.changed"
+let c_gvn = Obs.Vmstats.counter "pass.gvn.changed"
+let c_store_elim = Obs.Vmstats.counter "pass.store_elim.changed"
+let c_rce = Obs.Vmstats.counter "pass.rce.changed"
+let c_dce = Obs.Vmstats.counter "pass.dce.changed"
+let c_unreachable = Obs.Vmstats.counter "pass.unreachable.changed"
+
 let run ~(mode : mode) ~(opts : options) (u : Hhir.Ir.t) : pass_stats =
   let full = mode = Optimized in
+  let pass t c f =
+    let n = Obs.Vmstats.time t (fun () -> f u) in
+    Obs.Vmstats.add c n;
+    n
+  in
   let simplified = ref 0 and gvn = ref 0 and loads = ref 0 in
   let stores = ref 0 and rce_pairs = ref 0 and dce = ref 0 in
   (* profiling translations skip even simplify: JIT speed over code speed *)
-  if opts.o_simplify && mode <> Profiling then simplified := Simplify.run u;
-  if full && opts.o_load_elim then loads := Load_elim.run u;
-  if full && opts.o_gvn then gvn := Gvn.run u;
   if opts.o_simplify && mode <> Profiling then
-    simplified := !simplified + Simplify.run u;
-  if full && opts.o_store_elim then stores := Store_elim.run u;
-  if full && opts.o_rce then rce_pairs := Rce.run u;
-  dce := Dce.run u;
-  let unreachable = Unreachable.run u in
+    simplified := pass t_simplify c_simplify Simplify.run;
+  if full && opts.o_load_elim then
+    loads := pass t_load_elim c_load_elim Load_elim.run;
+  if full && opts.o_gvn then gvn := pass t_gvn c_gvn Gvn.run;
+  if opts.o_simplify && mode <> Profiling then
+    simplified := !simplified + pass t_simplify c_simplify Simplify.run;
+  if full && opts.o_store_elim then
+    stores := pass t_store_elim c_store_elim Store_elim.run;
+  if full && opts.o_rce then rce_pairs := pass t_rce c_rce Rce.run;
+  dce := pass t_dce c_dce Dce.run;
+  let unreachable = pass t_unreachable c_unreachable Unreachable.run in
   { ps_simplified = !simplified;
     ps_gvn = !gvn;
     ps_loads = !loads;

@@ -1,0 +1,272 @@
+(** Vmstats: the VM-wide telemetry registry (HHVM's `vmstats` / perf
+    counters, scaled to this substrate).
+
+    Four primitive kinds, all O(1) on the hot path:
+    - {b counters}: monotonically increasing event counts (cache hits,
+      guard failures, side exits, ...);
+    - {b gauges}: last-write-wins levels sampled at dump time (code-cache
+      bytes, heap live objects, ...);
+    - {b histograms}: log2-bucketed value distributions (translation sizes,
+      chain lengths, ...);
+    - {b timers}: accumulated wall-clock per named phase (HHIR pass times).
+
+    Probes hold a handle (obtained once, at module init or install) and
+    bump a mutable field through it — no hashing or allocation per event.
+    Every mutation is gated on {!enabled} (the [Jit_options.stats] knob),
+    so a stats-off run pays one branch per probe.  Names are dotted paths,
+    [subsystem.event] (e.g. [dispatch.mono_hit], [pass.rce.seconds]); the
+    registry dumps as stable-sorted text or JSON. *)
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : int }
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;        (* bucket i counts values in [2^(i-1), 2^i) *)
+  mutable h_count : int;
+  mutable h_sum : int;
+}
+
+type timer = {
+  t_name : string;
+  mutable t_seconds : float;
+  mutable t_calls : int;
+}
+
+(** The global stats knob ([Jit_options.stats]); set at engine install. *)
+let enabled = ref true
+
+let on () = !enabled
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 128
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let counter (name : string) : counter =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let gauge (name : string) : gauge =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0 } in
+    Hashtbl.replace gauges name g;
+    g
+
+let histogram (name : string) : histogram =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; h_buckets = Array.make 63 0; h_count = 0; h_sum = 0 } in
+    Hashtbl.replace histograms name h;
+    h
+
+let timer (name : string) : timer =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; t_seconds = 0.0; t_calls = 0 } in
+    Hashtbl.replace timers name t;
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Probes (hot path)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bump (c : counter) = if !enabled then c.c_count <- c.c_count + 1
+let add (c : counter) (n : int) = if !enabled then c.c_count <- c.c_count + n
+
+let set (g : gauge) (v : int) = if !enabled then g.g_value <- v
+
+(** Index of the log2 bucket for [v]: 0 for v <= 0, else 1 + floor(log2 v). *)
+let bucket_of (v : int) : int =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do incr b; v := !v lsr 1 done;
+    min !b 62
+  end
+
+let observe (h : histogram) (v : int) =
+  if !enabled then begin
+    h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v
+  end
+
+(** Time [f], attributing its wall-clock to [t] (even if it raises). *)
+let time (t : timer) (f : unit -> 'a) : 'a =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+          t.t_seconds <- t.t_seconds +. (Unix.gettimeofday () -. t0);
+          t.t_calls <- t.t_calls + 1)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads (tests, dump)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value (name : string) : int =
+  match Hashtbl.find_opt counters name with Some c -> c.c_count | None -> 0
+
+let gauge_value (name : string) : int =
+  match Hashtbl.find_opt gauges name with Some g -> g.g_value | None -> 0
+
+let timer_seconds (name : string) : float =
+  match Hashtbl.find_opt timers name with Some t -> t.t_seconds | None -> 0.0
+
+let timer_calls (name : string) : int =
+  match Hashtbl.find_opt timers name with Some t -> t.t_calls | None -> 0
+
+(** Zero every registered value; handles stay valid (registrations are
+    per-process, values are per-engine — Engine.install resets). *)
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+       Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+       h.h_count <- 0;
+       h.h_sum <- 0)
+    histograms;
+  Hashtbl.iter (fun _ t -> t.t_seconds <- 0.0; t.t_calls <- 0) timers
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_names (tbl : (string, 'a) Hashtbl.t) : string list =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** The counter registry as a JSON object (stable key order).  The shape is
+    {v {"counters":{..},"gauges":{..},"histograms":{..},"timers":{..}} v};
+    histogram buckets are emitted sparsely as ["log2_buckets": {"<i>": n}]
+    where bucket [i] covers values in [2^(i-1), 2^i). *)
+let to_json ?(indent = "") () : string =
+  let buf = Buffer.create 4096 in
+  let pad = indent and pad2 = indent ^ "  " and pad3 = indent ^ "    " in
+  let obj name emit_entries last =
+    Buffer.add_string buf
+      (Printf.sprintf "%s\"%s\": {\n" pad2 name);
+    emit_entries ();
+    Buffer.add_string buf (Printf.sprintf "\n%s}%s\n" pad2 (if last then "" else ","))
+  in
+  let entries names emit_one =
+    let first = ref true in
+    List.iter
+      (fun n ->
+         if not !first then Buffer.add_string buf ",\n";
+         first := false;
+         emit_one n)
+      names
+  in
+  Buffer.add_string buf (Printf.sprintf "%s{\n" pad);
+  obj "counters"
+    (fun () ->
+       entries (sorted_names counters)
+         (fun n ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s\"%s\": %d" pad3 (json_escape n)
+                 (counter_value n))))
+    false;
+  obj "gauges"
+    (fun () ->
+       entries (sorted_names gauges)
+         (fun n ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s\"%s\": %d" pad3 (json_escape n)
+                 (gauge_value n))))
+    false;
+  obj "histograms"
+    (fun () ->
+       entries (sorted_names histograms)
+         (fun n ->
+            let h = histogram n in
+            let bl = ref [] in
+            Array.iteri
+              (fun i c -> if c > 0 then bl := Printf.sprintf "\"%d\": %d" i c :: !bl)
+              h.h_buckets;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%s\"%s\": { \"count\": %d, \"sum\": %d, \"log2_buckets\": {%s} }"
+                 pad3 (json_escape n) h.h_count h.h_sum
+                 (String.concat ", " (List.rev !bl)))))
+    false;
+  obj "timers"
+    (fun () ->
+       entries (sorted_names timers)
+         (fun n ->
+            let t = timer n in
+            Buffer.add_string buf
+              (Printf.sprintf "%s\"%s\": { \"seconds\": %.6f, \"calls\": %d }"
+                 pad3 (json_escape n) t.t_seconds t.t_calls)))
+    true;
+  Buffer.add_string buf (Printf.sprintf "%s}" pad);
+  Buffer.contents buf
+
+(** Human-readable registry dump (zero-valued counters are elided). *)
+let dump_text () : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "--- vmstats ---\n";
+  List.iter
+    (fun n ->
+       let v = counter_value n in
+       if v <> 0 then Buffer.add_string buf (Printf.sprintf "%-40s %12d\n" n v))
+    (sorted_names counters);
+  List.iter
+    (fun n ->
+       Buffer.add_string buf
+         (Printf.sprintf "%-40s %12d  (gauge)\n" n (gauge_value n)))
+    (sorted_names gauges);
+  List.iter
+    (fun n ->
+       let h = histogram n in
+       if h.h_count > 0 then begin
+         Buffer.add_string buf
+           (Printf.sprintf "%-40s %12d  (hist; sum %d, avg %.1f)\n" n h.h_count
+              h.h_sum (float_of_int h.h_sum /. float_of_int h.h_count));
+         Array.iteri
+           (fun i c ->
+              if c > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  %-38s %12d  [%d, %d)\n" "" c
+                     (if i = 0 then 0 else 1 lsl (i - 1)) (1 lsl i)))
+           h.h_buckets
+       end)
+    (sorted_names histograms);
+  List.iter
+    (fun n ->
+       let t = timer n in
+       if t.t_calls > 0 then
+         Buffer.add_string buf
+           (Printf.sprintf "%-40s %12.6f s (%d calls)\n" n t.t_seconds t.t_calls))
+    (sorted_names timers);
+  Buffer.contents buf

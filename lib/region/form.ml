@@ -13,6 +13,14 @@ open Rdesc
 
 let default_max_region_instrs = 200
 
+(* region-formation telemetry (arc coverage = arcs kept inside regions
+   vs. arcs observed on the TransCFG) *)
+let c_formed = Obs.Vmstats.counter "region.formed"
+let c_blocks = Obs.Vmstats.counter "region.blocks"
+let c_arcs_covered = Obs.Vmstats.counter "region.arcs_covered"
+let c_arcs_total = Obs.Vmstats.counter "region.arcs_total"
+let h_instrs = Obs.Vmstats.histogram "region.instrs"
+
 (** Chain retranslation siblings: group the region's blocks by start pc,
     sort each group by descending weight, and link them. *)
 let chain_retranslations (blocks : block list) :
@@ -123,11 +131,17 @@ let form_func_regions ?(max_instrs = default_max_region_instrs)
             cfg.t_arcs
         in
         let blocks, chains = chain_retranslations blocks in
+        Obs.Vmstats.bump c_formed;
+        Obs.Vmstats.add c_blocks (List.length blocks);
+        Obs.Vmstats.add c_arcs_covered (List.length arcs);
+        Obs.Vmstats.observe h_instrs
+          (List.fold_left (fun a (b : block) -> a + b.b_len) 0 blocks);
         regions := { r_blocks = blocks; r_arcs = arcs; r_chain_next = chains }
                    :: !regions;
         form_one ()
     in
     form_one ();
+    Obs.Vmstats.add c_arcs_total (List.length cfg.t_arcs);
     List.rev !regions
   end
 

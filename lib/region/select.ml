@@ -41,6 +41,14 @@ type st = {
 let next_block_id = ref 0
 let fresh_block_id () = incr next_block_id; !next_block_id - 1
 
+(* tracelet-selection telemetry: blocks selected (by mode), instruction
+   and guard volume, and empty selections (srckeys the JIT gives up on) *)
+let c_sel_live = Obs.Vmstats.counter "select.blocks.live"
+let c_sel_prof = Obs.Vmstats.counter "select.blocks.profiling"
+let c_sel_empty = Obs.Vmstats.counter "select.empty"
+let c_sel_instrs = Obs.Vmstats.counter "select.instrs"
+let c_sel_guards = Obs.Vmstats.counter "select.guards"
+
 let raise_constraint (s : sym) (c : type_constraint) =
   match s.src with
   | Some g -> g.g_constraint <- constraint_max g.g_constraint c
@@ -379,7 +387,6 @@ let select (u : Hhbc.Hunit.t) ~(func_id : int) ~(start : int) ~(mode : mode)
      done
    with
    | End_block (`After | `Before) -> ());
-  ignore mode;
   (* postconditions: known local types and residual stack types *)
   let postconds =
     Hashtbl.fold
@@ -392,11 +399,20 @@ let select (u : Hhbc.Hunit.t) ~(func_id : int) ~(start : int) ~(mode : mode)
     @ List.filteri (fun _ _ -> true) (List.mapi (fun d s -> (LStack d, s.ty)) st.stack)
   in
   let exit_sp = List.length st.stack - st.entry_used in
-  { b_id = fresh_block_id ();
-    b_func = func_id;
-    b_start = start;
-    b_len = !pc - start;
-    b_preconds = List.rev st.guards;
-    b_postconds = postconds;
-    b_exit_sp = exit_sp;
-    b_counter = counter }
+  let b =
+    { b_id = fresh_block_id ();
+      b_func = func_id;
+      b_start = start;
+      b_len = !pc - start;
+      b_preconds = List.rev st.guards;
+      b_postconds = postconds;
+      b_exit_sp = exit_sp;
+      b_counter = counter }
+  in
+  if b.b_len = 0 then Obs.Vmstats.bump c_sel_empty
+  else begin
+    Obs.Vmstats.bump (if mode = MProfiling then c_sel_prof else c_sel_live);
+    Obs.Vmstats.add c_sel_instrs b.b_len;
+    Obs.Vmstats.add c_sel_guards (List.length b.b_preconds)
+  end;
+  b

@@ -25,6 +25,9 @@ let arcs : (int, int ref) Hashtbl.t = Hashtbl.create 256
 
 let last_arc : (int * int ref) option ref = ref None
 
+let c_arc_events = Obs.Vmstats.counter "region.arc_events"
+let c_blocks_registered = Obs.Vmstats.counter "region.blocks_registered"
+
 let reset () =
   Hashtbl.reset blocks_by_func;
   Hashtbl.reset blocks_by_id;
@@ -32,6 +35,7 @@ let reset () =
   last_arc := None
 
 let register_block (b : Rdesc.block) =
+  Obs.Vmstats.bump c_blocks_registered;
   Hashtbl.replace blocks_by_id b.b_id b;
   let lst =
     match Hashtbl.find_opt blocks_by_func b.b_func with
@@ -44,6 +48,7 @@ let register_block (b : Rdesc.block) =
   lst := b :: !lst
 
 let record_arc ~(src : int) ~(dst : int) =
+  Obs.Vmstats.bump c_arc_events;
   let key = arc_key ~src ~dst in
   match !last_arc with
   | Some (k, r) when k = key -> incr r

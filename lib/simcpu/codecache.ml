@@ -73,5 +73,9 @@ let reset_optimized (t : t) ~(reclaim_bytes : int) =
 
 let main_range (t : t) : int * int = (base_of Main, !(cursor t Main))
 
+(** Bytes currently allocated in one section (telemetry: the vmstats
+    [code.bytes.<section>] gauges report these per kind). *)
+let section_bytes (t : t) (s : section) : int = !(cursor t s) - base_of s
+
 let bytes_used (t : t) : int = t.used_total
 let bytes_counted (t : t) : int = t.used_counted

@@ -41,8 +41,22 @@ let translation_hook : (frame -> int -> enter_result) ref =
   ref (fun _ _ -> NoTranslation)
 
 (** Counts charged by interpreted execution only; used by Figure 9's
-    "time in live vs optimized code" statistic. *)
+    "time in live vs optimized code" statistic.  Reset at engine install
+    (it feeds the [interp.instrs] vmstats gauge per run). *)
 let instr_count = ref 0
+
+(* Per-opcode execution counters ([interp.op.<Name>]), indexed by the
+   dense opcode id — one array load + field bump per interpreted
+   instruction when stats are on, nothing else. *)
+let op_counters : Obs.Vmstats.counter array Lazy.t =
+  lazy
+    (Array.map (fun n -> Obs.Vmstats.counter ("interp.op." ^ n))
+       Hhbc.Instr.opcode_names)
+
+(* Method-dispatch cache telemetry (the interpreter side of the PR 1
+   per-call-site caches). *)
+let c_meth_hit = Obs.Vmstats.counter "interp.meth_cache.hit"
+let c_meth_miss = Obs.Vmstats.counter "interp.meth_cache.miss"
 
 (* Forward declaration to break the call cycle: calling a function goes
    through the engine (which may run compiled code).  Default: interpret. *)
@@ -333,6 +347,8 @@ let rec run (fr : frame) (start_pc : int) : value =
       let i = code.(this_pc) in
       charge (Cost.instr_cost i);
       incr instr_count;
+      if Obs.Vmstats.on () then
+        Obs.Vmstats.bump (Lazy.force op_counters).(Hhbc.Instr.opcode_id i);
       (* default: fall through *)
       pc := this_pc + 1;
       (match i with
@@ -500,8 +516,11 @@ let rec run (fr : frame) (start_pc : int) : value =
                  ~body_len:(Array.length code)
              in
              (match sc.sc_meth with
-              | Some m when sc.sc_cls = o.data.cls -> m
+              | Some m when sc.sc_cls = o.data.cls ->
+                Obs.Vmstats.bump c_meth_hit;
+                m
               | _ ->
+                Obs.Vmstats.bump c_meth_miss;
                 let m = lookup_method_for recv mname in
                 sc.sc_cls <- o.data.cls;
                 sc.sc_meth <- Some m;

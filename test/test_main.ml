@@ -10,4 +10,5 @@ let () =
       Test_backend.suite;
       Test_differential.suite;
       Test_edge.suite;
+      Test_obs.suite;
     ]
