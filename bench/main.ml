@@ -86,6 +86,7 @@ let fig9 () =
   Printf.printf "point C (optimized code published):            %.1f min\n"
     tr.t_point_c_min;
   Printf.printf "final JITed code size: %d KB\n" tr.t_final_code_kb;
+  Printf.printf "retranslate-all pause (wall clock): %.2f ms\n" tr.t_pause_ms;
   Printf.printf "steady-state time in live-mode code: %.1f%% (paper: 8%%)\n"
     tr.t_pct_live_steady
 
@@ -169,11 +170,13 @@ let table1 () =
   Printf.printf "\nguard relaxation: %d widened to Uncounted, %d dropped \
                  (generic), %d dropped (Generic constraint), %d kept, \
                  %d sibling translations subsumed\n"
-    s.relaxed_to_uncounted s.relaxed_to_generic s.dropped_generic s.kept
-    s.blocks_subsumed;
+    (Atomic.get s.relaxed_to_uncounted) (Atomic.get s.relaxed_to_generic)
+    (Atomic.get s.dropped_generic) (Atomic.get s.kept)
+    (Atomic.get s.blocks_subsumed);
   Printf.printf "RCE: %d IncRef/DecRef pairs eliminated, %d DecRefs \
                  specialized to DecRefNZ\n"
-    Hhir_opt.Rce.stats.pairs_eliminated Hhir_opt.Rce.stats.decref_nz
+    (Atomic.get Hhir_opt.Rce.stats.pairs_eliminated)
+    (Atomic.get Hhir_opt.Rce.stats.decref_nz)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of the compiler itself    *)
@@ -325,6 +328,30 @@ let measure_region ~(reps : int) ~(tweak : Core.Jit_options.t -> unit)
   done;
   (!best, Option.get !last)
 
+(** Retranslate-all pause vs worker count: same Region perflab, only the
+    compile-phase parallelism varies.  Pause is the engine's wall-clock
+    [retranslate.pause_ms] timer (one retranslation per perflab run, and
+    install resets the registry, so the read is exactly that run's pause);
+    best-of-[reps] since only host noise varies.  The publish phase is
+    deterministic, so output hash and code bytes must be identical for
+    every worker count. *)
+let measure_retranslate ~(reps : int) (workers : int)
+  : float * float * Server.Perflab.result =
+  let best = ref infinity and best_compile = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let r =
+      Server.Perflab.run Core.Jit_options.Region
+        ~tweak:(fun o -> o.Core.Jit_options.jit_workers <- workers)
+    in
+    let pause = Obs.Vmstats.timer_seconds "retranslate.pause_ms" in
+    let compile = Obs.Vmstats.timer_seconds "retranslate.compile_ms" in
+    if pause < !best then best := pause;
+    if compile < !best_compile then best_compile := compile;
+    last := Some r
+  done;
+  (!best, !best_compile, Option.get !last)
+
 let json () =
   let reps = 3 in
   let modes =
@@ -350,6 +377,20 @@ let json () =
       ~tweak:(fun o -> o.Core.Jit_options.stats <- false)
   in
   let overhead_pct = 100.0 *. (wall_on -. wall_off) /. wall_off in
+  (* parallel retranslate-all: pause by worker count + determinism check *)
+  let worker_counts = [ 1; 2; 4 ] in
+  let retr = List.map (fun w -> (w, measure_retranslate ~reps w)) worker_counts in
+  let _, _, r1 = List.assoc 1 retr in
+  let retr_deterministic =
+    List.for_all
+      (fun (_, (_, _, (r : Server.Perflab.result))) ->
+         r.Server.Perflab.r_output_hash = r1.Server.Perflab.r_output_hash
+         && r.Server.Perflab.r_code_bytes = r1.Server.Perflab.r_code_bytes)
+      retr
+  in
+  let pause1, _, _ = List.assoc 1 retr in
+  let pause4, _, _ = List.assoc 4 retr in
+  let pause_speedup = if pause4 > 0.0 then pause1 /. pause4 else 0.0 in
   let micro = micro_results () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
@@ -362,7 +403,22 @@ let json () =
        (List.map
           (fun (n, est) -> Printf.sprintf "    \"%s\": %.1f" n est)
           micro));
-  Buffer.add_string current "\n  },\n  \"vmstats\": ";
+  Buffer.add_string current "\n  },\n  \"retranslate\": {\n";
+  Buffer.add_string current
+    (String.concat ",\n"
+       (List.map
+          (fun (w, (pause, compile, (r : Server.Perflab.result))) ->
+             Printf.sprintf
+               "    \"workers_%d\": { \"pause_ms\": %.3f, \"compile_ms\": \
+                %.3f, \"code_bytes\": %d, \"output_hash\": %d }"
+               w pause compile r.Server.Perflab.r_code_bytes
+               r.Server.Perflab.r_output_hash)
+          retr));
+  Buffer.add_string current
+    (Printf.sprintf
+       ",\n    \"pause_speedup_4w\": %.2f,\n    \"deterministic\": %b\n"
+       pause_speedup retr_deterministic);
+  Buffer.add_string current "  },\n  \"vmstats\": ";
   Buffer.add_string current vmstats_json;
   Buffer.add_string current
     (Printf.sprintf ",\n  \"vmstats_overhead_pct\": %.2f,\n" overhead_pct);
@@ -392,9 +448,23 @@ let json () =
     samples;
   Printf.printf "vmstats probe overhead: %+.2f%% wall (stats on vs off)\n"
     overhead_pct;
+  List.iter
+    (fun (w, (pause, compile, _)) ->
+       Printf.printf
+         "retranslate pause_ms @ %d worker%s: %.3f (compile burst %.3f ms)\n"
+         w (if w = 1 then " " else "s") pause compile)
+    retr;
+  Printf.printf "retranslate pause speedup @ 4 workers: %.2fx\n" pause_speedup;
+  Printf.printf "retranslate deterministic across worker counts: %b\n"
+    retr_deterministic;
   Printf.printf "differential hash match: %b\n" hash_match;
   if not hash_match then begin
     prerr_endline "ERROR: output hash mismatch across execution modes";
+    exit 1
+  end;
+  if not retr_deterministic then begin
+    prerr_endline
+      "ERROR: output hash or code bytes diverge across --jit-workers counts";
     exit 1
   end
 

@@ -63,9 +63,10 @@ let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
 
 let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     no_relax no_dispatch repeat vmstats tc_print trace trace_out no_stats
-    perflab =
+    perflab jit_workers =
   let opts = Core.Jit_options.default () in
   opts.mode <- mode;
+  if jit_workers > 0 then opts.jit_workers <- jit_workers;
   if no_rce then opts.rce <- false;
   if no_inlining then opts.inlining <- false;
   if no_relax then opts.guard_relax <- false;
@@ -88,6 +89,7 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     o.inline_cache <- opts.inline_cache;
     o.stats <- opts.stats; o.trace <- opts.trace;
     o.trace_out <- opts.trace_out;
+    o.jit_workers <- opts.jit_workers;
     let r = Server.Perflab.measure cfg in
     Printf.printf "perflab[%s]: %.1f +- %.1f cycles/request, %d code bytes\n"
       (match mode with
@@ -250,10 +252,18 @@ let cmd =
          & info [ "perflab" ]
            ~doc:"Run the Perflab endpoint mix instead of a source file")
   in
+  let jit_workers =
+    Arg.(value & opt int 0
+         & info [ "jit-workers" ] ~docv:"N"
+           ~doc:"Parallel retranslate-all: compile optimized translations \
+                 on N domains (publish stays serial and deterministic, so \
+                 output is identical for any N; also JIT_WORKERS; default 1)")
+  in
   let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
   Cmd.v (Cmd.info "hhvm_run" ~doc)
     Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
           $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat
-          $ vmstats $ tc_print $ trace $ trace_out $ no_stats $ perflab)
+          $ vmstats $ tc_print $ trace $ trace_out $ no_stats $ perflab
+          $ jit_workers)
 
 let () = exit (Cmd.eval cmd)

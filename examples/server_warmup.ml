@@ -35,5 +35,7 @@ let () =
     tr.t_point_b_min;
   Printf.printf "C: optimized translations published                    %.1f min\n"
     tr.t_point_c_min;
+  Printf.printf "retranslate-all wall-clock pause:                      %.2f ms\n"
+    tr.t_pause_ms;
   Printf.printf "steady-state JITed-code time spent in live-mode code:  %.1f%% (paper: 8%%)\n"
     tr.t_pct_live_steady

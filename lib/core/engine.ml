@@ -25,6 +25,19 @@ type slot = {
   mutable sl_mono : (Translation.t * Translation.entry) option;
 }
 
+(** Retranslate-all sort inputs derived from the profile (C3 size table
+    and resolved method-call edges).  Computing them re-scans the profile
+    and resolves method names through the class table, so they are cached
+    across repeated retranslations, keyed on the structural versions of
+    the TransCFG registry and the profile — weight-only growth reuses the
+    cache; new blocks, call sites or edges invalidate it. *)
+type sort_cache = {
+  sc_tcfg_version : int;
+  sc_prof_version : int;
+  sc_sizes : (int, int) Hashtbl.t;         (* fid -> size estimate *)
+  sc_medges : ((int * int) * int) list;    (* resolved method-call edges *)
+}
+
 type t = {
   opts : Jit_options.t;
   hunit : Hhbc.Hunit.t;
@@ -47,6 +60,7 @@ type t = {
   mutable n_optimized : int;
   mutable opt_bytes : int;
   mutable compile_count : int;
+  mutable sort_cache : sort_cache option;
 }
 
 let current : t option ref = ref None
@@ -76,6 +90,18 @@ let c_tr_opt = Obs.Vmstats.counter "translate.optimized"
 let c_tr_rejected = Obs.Vmstats.counter "translate.rejected"
 let h_tr_bytes = Obs.Vmstats.histogram "translate.bytes"
 let c_retranslate = Obs.Vmstats.counter "retranslate.runs"
+(* pause of the last retranslate-all: the main-domain stall, i.e. the
+   window during which the engine serves no requests.  With one worker
+   the compile burst runs inline on the main domain, so the stall covers
+   sort + invalidation + compile + publish (the historical serial
+   behavior); with [jit_workers >= 2] the burst runs on background
+   domains while the main thread would keep serving (cf. server/startup),
+   so the stall is only the serial prologue + publish.  The full burst
+   wall time is always recorded separately as [retranslate.compile_ms].
+   Both are recorded in milliseconds (the names say so; a timer's
+   accumulator is unit-agnostic). *)
+let t_pause = Obs.Vmstats.timer "retranslate.pause_ms"
+let t_compile = Obs.Vmstats.timer "retranslate.compile_ms"
 
 (* ------------------------------------------------------------------ *)
 (* Translation tables                                                  *)
@@ -150,19 +176,29 @@ let mark_no_compile (eng : t) (fid : int) (pc : int) : unit =
 let live_compile_cycles n = 400 + 90 * n
 let prof_compile_cycles n = 300 + 60 * n
 
-let weights_for (eng : t) (lowered : Hhir.Lower.lowered) : (int, int) Hashtbl.t =
-  ignore eng;
+let weights_for ?(snapshot : Region.Transcfg.snapshot option)
+    (lowered : Hhir.Lower.lowered) : (int, int) Hashtbl.t =
+  let block_of, weight_of =
+    match snapshot with
+    | Some sn -> Region.Transcfg.snap_block sn, Region.Transcfg.snap_weight sn
+    | None -> Region.Transcfg.block, Region.Transcfg.block_weight
+  in
   let w = Hashtbl.create 16 in
   List.iter
     (fun (rbid, irid) ->
-       let rb = Region.Transcfg.block rbid in
-       Hashtbl.replace w irid (max 1 (Region.Transcfg.block_weight rb)))
+       Hashtbl.replace w irid (max 1 (weight_of (block_of rbid))))
     lowered.lw_blockmap;
   w
 
-(** Compile a region into an assembled translation. *)
-let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
-    ~(kind : Translation.kind) : Translation.t option =
+(** The compile phase of a translation: region -> HHIR -> passes -> vasm
+    -> register allocation -> prepared (section-relative) code.  Touches
+    no engine or code-cache state, so retranslate-all runs it on worker
+    domains; [snapshot] supplies block weights there (the live profile
+    counters are main-domain state).  Returns the prepared translation
+    and the region's block count (trace metadata for publish). *)
+let prepare_region (eng : t) ~(snapshot : Region.Transcfg.snapshot option)
+    ~(fid : int) ~(region : Rd.t) ~(kind : Translation.kind)
+  : Translation.prepared * int =
   let mode = match kind with
     | Translation.KLive -> Hhir.Lower.Live
     | Translation.KProfiling -> Hhir.Lower.Profiling
@@ -176,7 +212,7 @@ let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
   ignore (Hhir_opt.Pipeline.run ~mode ~opts:lopts lowered.lw_ir);
   Hhir.Verify.verify lowered.lw_ir;
   let weights =
-    if kind = Translation.KOptimized then weights_for eng lowered
+    if kind = Translation.KOptimized then weights_for ?snapshot lowered
     else begin
       (* no profile: entry blocks weight 1; stubs 0 *)
       let w = Hashtbl.create 8 in
@@ -190,13 +226,20 @@ let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
   let prog = Vasm.Jumpopt.run prog in
   let ra = Vasm.Regalloc.run prog ~nregs:eng.opts.nregs in
   let entry_block = Rd.entry region in
+  (Translation.prepare ~fid ~srckey:entry_block.b_start ~kind ~ra ~sections
+     ~entries:lowered.lw_entries,
+   List.length region.Rd.r_blocks)
+
+(** The publish half: place the prepared translation in the code cache and
+    account for it.  Serial, main domain only — code-cache offsets,
+    translation ids and trace sequence numbers are assigned here, in
+    whatever order the caller dictates. *)
+let finish_translation (eng : t) ((pr : Translation.prepared), (nblocks : int))
+  : Translation.t option =
   eng.compile_count <- eng.compile_count + 1;
-  match
-    Translation.assemble ~fid ~srckey:entry_block.b_start ~kind ~ra ~sections
-      ~entries:lowered.lw_entries ~cache:eng.cache
-  with
+  match Translation.place ~cache:eng.cache pr with
   | Some tr as res ->
-    (match kind with
+    (match tr.Translation.tr_kind with
      | Translation.KLive -> Obs.Vmstats.bump c_tr_live
      | Translation.KProfiling -> Obs.Vmstats.bump c_tr_prof
      | Translation.KOptimized -> Obs.Vmstats.bump c_tr_opt);
@@ -204,16 +247,21 @@ let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
     if Obs.Trace.on Obs.Trace.Translate then
       Obs.Trace.emit Obs.Trace.Translate
         [ ("tr", Obs.Trace.I tr.Translation.tr_id);
-          ("fid", Obs.Trace.I fid);
-          ("srckey", Obs.Trace.I entry_block.b_start);
-          ("kind", Obs.Trace.S (Translation.kind_name kind));
+          ("fid", Obs.Trace.I tr.Translation.tr_fid);
+          ("srckey", Obs.Trace.I tr.Translation.tr_srckey);
+          ("kind", Obs.Trace.S (Translation.kind_name tr.Translation.tr_kind));
           ("bytes", Obs.Trace.I tr.Translation.tr_bytes);
-          ("blocks", Obs.Trace.I (List.length region.Rd.r_blocks)) ];
+          ("blocks", Obs.Trace.I nblocks) ];
     res
   | None ->
     (* code budget exhausted: the caller marks the srckey no-compile *)
     Obs.Vmstats.bump c_tr_rejected;
     None
+
+(** Compile a region into an assembled translation (serial path). *)
+let compile_region (eng : t) ~(fid : int) ~(region : Rd.t)
+    ~(kind : Translation.kind) : Translation.t option =
+  finish_translation eng (prepare_region eng ~snapshot:None ~fid ~region ~kind)
 
 let publish (eng : t) (tr : Translation.t) =
   let sl = get_or_create_slot eng tr.tr_fid tr.tr_srckey in
@@ -570,11 +618,47 @@ let func_size_estimate (fid : int) : int =
     40 + List.fold_left (fun a (b : Rd.block) -> a + 12 * b.b_len) 0 !l
   | None -> 40
 
+(** Sort inputs for retranslate-all, from the engine's cache when the
+    TransCFG registry and the profile are structurally unchanged since the
+    last retranslation (weight-only growth does not re-scan). *)
+let sort_inputs (eng : t) (funcs : int list) : sort_cache =
+  let tv = Region.Transcfg.version () and pv = Vm.Prof.version () in
+  match eng.sort_cache with
+  | Some sc when sc.sc_tcfg_version = tv && sc.sc_prof_version = pv -> sc
+  | _ ->
+    let sc_sizes = Hashtbl.create (2 * List.length funcs + 1) in
+    List.iter
+      (fun fid -> Hashtbl.replace sc_sizes fid (func_size_estimate fid))
+      funcs;
+    (* method-call edges resolved through receiver-class profiles *)
+    let sc_medges =
+      List.filter_map
+        (fun (caller, mname, cls, w) ->
+           if cls < 0 || cls >= Runtime.Vclass.count () then None
+           else
+             Option.map
+               (fun (m : Runtime.Vclass.meth) -> ((caller, m.m_func), w))
+               (Runtime.Vclass.lookup_method (Runtime.Vclass.get cls) mname))
+        (Vm.Prof.method_edges ())
+    in
+    let sc = { sc_tcfg_version = tv; sc_prof_version = pv;
+               sc_sizes; sc_medges } in
+    eng.sort_cache <- Some sc;
+    sc
+
 (** The global retranslation trigger (§5.1): form regions for every profiled
     function, optimize, sort functions with C3, and publish the optimized
     code.  Profiling translations are dropped (their section is reclaimed).
-    Returns the number of optimized translations produced. *)
+    Returns the number of optimized translations produced.
+
+    The compile phase (region formation -> HHIR -> vasm -> prepared code)
+    is read-only with respect to engine state and fans out across
+    [opts.jit_workers] domains over a frozen TransCFG snapshot; the publish
+    phase then places every prepared translation serially in C3 function
+    order, so code-cache offsets, translation ids, inline-cache ids, links
+    and trace output are identical for any worker count. *)
 let retranslate_all (eng : t) : int =
+  let t0 = Unix.gettimeofday () in
   Obs.Vmstats.bump c_retranslate;
   eng.phase <- POptimized;
   (* candidate functions, hottest first *)
@@ -585,19 +669,12 @@ let retranslate_all (eng : t) : int =
   (* function order: C3 over the dynamic call graph *)
   let order =
     if eng.opts.function_sort then begin
+      let sc = sort_inputs eng funcs in
       let edges = Vm.Prof.call_graph () in
-      (* add method-call edges resolved through receiver-class profiles *)
-      let medges =
-        List.filter_map
-          (fun (caller, mname, cls, w) ->
-             if cls < 0 || cls >= Runtime.Vclass.count () then None
-             else
-               Option.map
-                 (fun (m : Runtime.Vclass.meth) -> ((caller, m.m_func), w))
-                 (Runtime.Vclass.lookup_method (Runtime.Vclass.get cls) mname))
-          (Vm.Prof.method_edges ())
+      let sizes fid =
+        Option.value (Hashtbl.find_opt sc.sc_sizes fid) ~default:40
       in
-      C3.sort ~edges:(edges @ medges) ~sizes:func_size_estimate funcs
+      C3.sort ~edges:(edges @ sc.sc_medges) ~sizes funcs
     end else funcs
   in
   (* drop profiling translations; optimized code replaces them.  Fresh
@@ -625,28 +702,45 @@ let retranslate_all (eng : t) : int =
   eng.generation <- eng.generation + 1;
   eng.trans <- fresh_trans eng.hunit;
   eng.nocompile <- fresh_nocompile eng.hunit;
+  (* compile phase: one task per function, in C3 order, over a frozen
+     TransCFG snapshot.  Tasks only read the snapshot and the unit and
+     write task-local buffers, so any interleaving yields the same
+     prepared code; the task array's order fixes the publish order. *)
+  let snap = Region.Transcfg.snapshot funcs in
+  let weight = Region.Transcfg.snap_weight snap in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun fid () ->
+            Region.Form.form_snapshot_regions
+              ~max_instrs:eng.opts.max_region_instrs snap fid
+            |> List.map
+              (fun region ->
+                 let region =
+                   if eng.opts.guard_relax then Region.Relax.run ~weight region
+                   else region
+                 in
+                 prepare_region eng ~snapshot:(Some snap) ~fid ~region
+                   ~kind:Translation.KOptimized))
+         order)
+  in
+  let t1 = Unix.gettimeofday () in
+  let prepared = Jit_worker.run ~workers:eng.opts.jit_workers tasks in
+  let t2 = Unix.gettimeofday () in
+  (* publish phase: serial, in task (C3) order — every global id below is
+     assigned here, independent of which worker compiled what when *)
   let count = ref 0 in
-  List.iter
-    (fun fid ->
-       let regions =
-         Region.Form.form_func_regions
-           ~max_instrs:eng.opts.max_region_instrs fid
-       in
-       List.iter
-         (fun region ->
-            let region =
-              if eng.opts.guard_relax then Region.Relax.run region else region
-            in
-            match compile_region eng ~fid ~region
-                    ~kind:Translation.KOptimized with
-            | Some tr ->
-              publish eng tr;
-              eng.n_optimized <- eng.n_optimized + 1;
-              eng.opt_bytes <- eng.opt_bytes + tr.tr_bytes;
-              incr count
-            | None -> ())
-         regions)
-    order;
+  Array.iter
+    (List.iter
+       (fun pr ->
+          match finish_translation eng pr with
+          | Some tr ->
+            publish eng tr;
+            eng.n_optimized <- eng.n_optimized + 1;
+            eng.opt_bytes <- eng.opt_bytes + tr.tr_bytes;
+            incr count
+          | None -> ()))
+    prepared;
   eng.optimized_published <- true;
   (* map the hot section onto huge pages (§5.1.2) *)
   let lo, hi = Simcpu.Codecache.main_range eng.cache in
@@ -656,6 +750,17 @@ let retranslate_all (eng : t) : int =
       [ ("generation", Obs.Trace.I eng.generation);
         ("functions", Obs.Trace.I (List.length order));
         ("optimized", Obs.Trace.I !count) ];
+  let t3 = Unix.gettimeofday () in
+  (* stall accounting: the compile window [t1, t2] stalls the main domain
+     only when it compiles inline (one worker); with background workers the
+     main thread is merely waiting and would keep serving requests *)
+  let compile_ms = (t2 -. t1) *. 1000. in
+  let stall_ms =
+    ((t1 -. t0) +. (t3 -. t2)) *. 1000.
+    +. (if eng.opts.jit_workers <= 1 then compile_ms else 0.0)
+  in
+  Obs.Vmstats.record_seconds t_compile compile_ms;
+  Obs.Vmstats.record_seconds t_pause stall_ms;
   !count
 
 (* ------------------------------------------------------------------ *)
@@ -695,8 +800,14 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
     optimized_published = false;
     n_live = 0; n_profiling = 0; n_optimized = 0;
     opt_bytes = 0; compile_count = 0;
+    sort_cache = None;
   } in
   current := Some eng;
+  (* translation ids, inline-cache ids and TransCFG block ids restart per
+     engine: sequential runs (bench determinism sweeps) produce identical
+     tc-print reports and trace streams *)
+  Translation.reset_ids ();
+  Region.Select.next_block_id := 0;
   Region.Transcfg.reset ();
   Vm.Prof.reset ();
   Vm.Interp.instr_count := 0;

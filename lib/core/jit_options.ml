@@ -48,6 +48,12 @@ type t = {
   mutable max_region_instrs : int;
   mutable max_inline_blocks : int;    (* partial-inlining budget *)
   mutable max_inline_instrs : int;
+  (* retranslate-all compile parallelism: number of domains running the
+     region -> HHIR -> vasm compile phase ([--jit-workers N] /
+     [JIT_WORKERS]; 1 = serial; 0 = unset, resolved to the environment
+     or 1 at install).  The publish phase is always serial and
+     deterministic, so output is identical for any value. *)
+  mutable jit_workers : int;
 }
 
 let default () : t = {
@@ -74,6 +80,7 @@ let default () : t = {
   max_region_instrs = 200;
   max_inline_blocks = 4;
   max_inline_instrs = 40;
+  jit_workers = 0;
 }
 
 (** The single config-resolution step for environment knobs, run once at
@@ -90,7 +97,14 @@ let resolve_env (t : t) : unit =
    | _ -> ());
   (match Sys.getenv_opt "JIT_STATS" with
    | Some ("0" | "false" | "off") -> t.stats <- false
-   | _ -> ())
+   | _ -> ());
+  (match Sys.getenv_opt "JIT_WORKERS" with
+   | Some s when t.jit_workers = 0 ->
+     (match int_of_string_opt (String.trim s) with
+      | Some n -> t.jit_workers <- max 1 n
+      | None -> ())
+   | _ -> ());
+  if t.jit_workers <= 0 then t.jit_workers <- 1
 
 (** Disable every profile-guided optimization except region formation and
     partial inlining — the paper's "All PGO" experiment (§6.3). *)

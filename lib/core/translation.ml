@@ -51,13 +51,49 @@ and link = {
 
 let next_id = ref 0
 
-(** Assemble a register-allocated program into the code cache.  Returns
-    None when the code budget is exhausted. *)
-let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
+(* global inline-cache id allocator.  Lowering numbers CallMethodCached
+   sites 0.. within each compilation unit (so workers need no shared
+   counter); [place] maps them to process-global ids in publish order,
+   keeping the engine's dense method-cache array deterministic for any
+   worker count. *)
+let next_cache_id = ref 0
+
+(** Reset the translation-id and inline-cache-id allocators.  Called by
+    [Engine.install] so ids (visible in tc-print reports) restart per
+    engine and sequential runs produce identical reports. *)
+let reset_ids () =
+  next_id := 0;
+  next_cache_id := 0
+
+(** A translation compiled but not yet placed: code in layout order with
+    section-relative offsets.  Contains no code-cache addresses, ids, or
+    other global state — building one is side-effect free, so JIT workers
+    prepare translations in parallel and the main domain [place]s them
+    serially in deterministic order. *)
+type prepared = {
+  pr_fid : int;
+  pr_srckey : int;
+  pr_kind : kind;
+  pr_code : Vasm.Regalloc.operand Vasm.Vinstr.t array;
+  pr_off : int array;                   (* offset within its section *)
+  pr_cold : bool array;                 (* instruction goes to Cold *)
+  pr_hot_bytes : int;
+  pr_cold_bytes : int;
+  pr_entries : entry array;
+  pr_exits : Hhir.Ir.exit_spec array;
+  pr_loc : (int, Vasm.Regalloc.operand) Hashtbl.t;
+  pr_nslots : int;
+  pr_label_index : (int, int) Hashtbl.t;
+  pr_ncache : int;                      (* unit-local inline-cache ids used *)
+}
+
+(** Lay out a register-allocated program relative to its sections.  Pure
+    with respect to engine/process state: safe on any domain. *)
+let prepare ~(fid : int) ~(srckey : int) ~(kind : kind)
     ~(ra : Vasm.Regalloc.result)
     ~(sections : (int, Vasm.Layout.section) Hashtbl.t)
     ~(entries : (Region.Rdesc.block * int) list)   (* block, IR block id *)
-    ~(cache : Simcpu.Codecache.t) : t option =
+  : prepared =
   let p = ra.ra_prog in
   let section_of vb =
     match kind with
@@ -79,76 +115,136 @@ let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
       0 bl
   in
   let hot_bytes = section_bytes hot and cold_bytes = section_bytes cold in
-  let hot_sec = match kind with
+  let code = ref [] and offs = ref [] and colds = ref [] in
+  let label_index = Hashtbl.create 16 in
+  let idx = ref 0 in
+  let layout ~in_cold bl =
+    let cursor = ref 0 in
+    List.iter
+      (fun vb ->
+         Hashtbl.replace label_index vb.vb_id !idx;
+         List.iter
+           (fun i ->
+              code := i :: !code;
+              offs := !cursor :: !offs;
+              colds := in_cold :: !colds;
+              cursor := !cursor + size_bytes i;
+              incr idx)
+           vb.vb_instrs)
+      bl
+  in
+  layout ~in_cold:false hot;
+  layout ~in_cold:true cold;
+  (* empty blocks at the end of a section: map their labels to the end
+     of the code (they would fall through; lower_bc never produces
+     them, but jumpopt stripping can leave an empty final block) *)
+  List.iter
+    (fun vb ->
+       if not (Hashtbl.mem label_index vb.vb_id) then
+         Hashtbl.replace label_index vb.vb_id !idx)
+    p.vblocks;
+  let pr_entries =
+    Array.of_list
+      (List.map
+         (fun ((rb : Region.Rdesc.block), irb) ->
+            let i =
+              match Hashtbl.find_opt label_index irb with
+              | Some i -> i
+              | None -> 0
+            in
+            { en_block = rb; en_idx = i;
+              en_guards = Array.of_list rb.b_preconds })
+         entries)
+  in
+  let pr_code = Array.of_list (List.rev !code) in
+  let pr_ncache =
+    Array.fold_left
+      (fun acc i ->
+         match i with
+         | VHelper (HCallMethodCached (_, cid), _, _, _) -> max acc (cid + 1)
+         | _ -> acc)
+      0 pr_code
+  in
+  { pr_fid = fid;
+    pr_srckey = srckey;
+    pr_kind = kind;
+    pr_code;
+    pr_off = Array.of_list (List.rev !offs);
+    pr_cold = Array.of_list (List.rev !colds);
+    pr_hot_bytes = hot_bytes;
+    pr_cold_bytes = cold_bytes;
+    pr_entries;
+    pr_exits = p.vexits;
+    pr_loc = ra.ra_loc;
+    pr_nslots = ra.ra_nslots;
+    pr_label_index = label_index;
+    pr_ncache }
+
+(** Place a prepared translation into the code cache: allocate its section
+    extents, compute absolute instruction addresses, map unit-local
+    inline-cache ids to global ones, and assign the translation id.
+    Serial (main domain) only.  Returns None when the code budget is
+    exhausted — the hot allocation stays consumed in that case, matching
+    the historical budget accounting. *)
+let place ~(cache : Simcpu.Codecache.t) (pr : prepared) : t option =
+  let hot_sec = match pr.pr_kind with
     | KProfiling -> Simcpu.Codecache.Prof
     | KLive -> Simcpu.Codecache.Live
     | KOptimized -> Simcpu.Codecache.Main
   in
-  match Simcpu.Codecache.alloc cache hot_sec hot_bytes with
+  match Simcpu.Codecache.alloc cache hot_sec pr.pr_hot_bytes with
   | None -> None
   | Some hot_base ->
     let cold_base =
-      if cold_bytes = 0 then Some 0
-      else Simcpu.Codecache.alloc cache Simcpu.Codecache.Cold cold_bytes
+      if pr.pr_cold_bytes = 0 then Some 0
+      else Simcpu.Codecache.alloc cache Simcpu.Codecache.Cold pr.pr_cold_bytes
     in
     match cold_base with
     | None -> None
     | Some cold_base ->
-      let code = ref [] and addrs = ref [] in
-      let label_index = Hashtbl.create 16 in
-      let idx = ref 0 in
-      let place base bl =
-        let cursor = ref base in
-        List.iter
-          (fun vb ->
-             Hashtbl.replace label_index vb.vb_id !idx;
-             List.iter
-               (fun i ->
-                  code := i :: !code;
-                  addrs := !cursor :: !addrs;
-                  cursor := !cursor + size_bytes i;
-                  incr idx)
-               vb.vb_instrs)
-          bl
+      let tr_addr =
+        Array.mapi
+          (fun i off -> off + (if pr.pr_cold.(i) then cold_base else hot_base))
+          pr.pr_off
       in
-      place hot_base hot;
-      place cold_base cold;
-      (* empty blocks at the end of a section: map their labels to the end
-         of the code (they would fall through; lower_bc never produces
-         them, but jumpopt stripping can leave an empty final block) *)
-      List.iter
-        (fun vb ->
-           if not (Hashtbl.mem label_index vb.vb_id) then
-             Hashtbl.replace label_index vb.vb_id !idx)
-        p.vblocks;
-      let tr_entries =
-        Array.of_list
-          (List.map
-             (fun ((rb : Region.Rdesc.block), irb) ->
-                let i =
-                  match Hashtbl.find_opt label_index irb with
-                  | Some i -> i
-                  | None -> 0
-                in
-                { en_block = rb; en_idx = i;
-                  en_guards = Array.of_list rb.b_preconds })
-             entries)
+      let tr_code =
+        if pr.pr_ncache = 0 then pr.pr_code
+        else begin
+          let base = !next_cache_id in
+          next_cache_id := base + pr.pr_ncache;
+          Array.map
+            (function
+              | VHelper (HCallMethodCached (m, cid), args, ret, fr) ->
+                VHelper (HCallMethodCached (m, base + cid), args, ret, fr)
+              | i -> i)
+            pr.pr_code
+        end
       in
       incr next_id;
       Some { tr_id = !next_id;
-             tr_fid = fid;
-             tr_srckey = srckey;
-             tr_kind = kind;
-             tr_code = Array.of_list (List.rev !code);
-             tr_addr = Array.of_list (List.rev !addrs);
-             tr_entries;
-             tr_exits = p.vexits;
+             tr_fid = pr.pr_fid;
+             tr_srckey = pr.pr_srckey;
+             tr_kind = pr.pr_kind;
+             tr_code;
+             tr_addr;
+             tr_entries = pr.pr_entries;
+             tr_exits = pr.pr_exits;
              tr_links =
-               Array.init (Array.length p.vexits)
+               Array.init (Array.length pr.pr_exits)
                  (fun _ -> { lk_gen = -1; lk_target = None });
-             tr_loc = ra.ra_loc;
-             tr_nslots = ra.ra_nslots;
-             tr_label_index = label_index;
-             tr_bytes = hot_bytes + cold_bytes;
+             tr_loc = pr.pr_loc;
+             tr_nslots = pr.pr_nslots;
+             tr_label_index = pr.pr_label_index;
+             tr_bytes = pr.pr_hot_bytes + pr.pr_cold_bytes;
              tr_execs = 0;
              tr_cycles = 0 }
+
+(** Assemble a register-allocated program into the code cache (prepare +
+    place in one step — the serial lazy-compile path).  Returns None when
+    the code budget is exhausted. *)
+let assemble ~(fid : int) ~(srckey : int) ~(kind : kind)
+    ~(ra : Vasm.Regalloc.result)
+    ~(sections : (int, Vasm.Layout.section) Hashtbl.t)
+    ~(entries : (Region.Rdesc.block * int) list)
+    ~(cache : Simcpu.Codecache.t) : t option =
+  place ~cache (prepare ~fid ~srckey ~kind ~ra ~sections ~entries)

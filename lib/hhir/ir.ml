@@ -170,12 +170,17 @@ type t = {
   mutable next_tmp : int;
   mutable next_instr : int;
   mutable next_block : int;
+  (* inline-cache ids ([CallMethodCached]) are unit-local, 0-based: the
+     engine maps them to global ids when the translation is placed in the
+     code cache, so compilation itself never touches shared state and can
+     run on any JIT worker domain *)
+  mutable next_cache : int;
 }
 
 let create (hunit : Hhbc.Hunit.t) (func : Hhbc.Instr.func) : t =
   { func; hunit; blocks = []; entry = 0; entries = []; exits = [];
     n_exits = 0; call_fixups = Hashtbl.create 8;
-    next_tmp = 0; next_instr = 0; next_block = 0 }
+    next_tmp = 0; next_instr = 0; next_block = 0; next_cache = 0 }
 
 let new_tmp (u : t) (ty : R.t) : tmp =
   let t = { t_id = u.next_tmp; t_ty = ty } in

@@ -51,9 +51,12 @@ let default_options = {
   o_relax = true;
 }
 
-(* inline caches for CallMethodCached; ids allocated at lowering time *)
-let next_cache_id = ref 0
-let new_cache_id () = incr next_cache_id; !next_cache_id - 1
+(* inline caches for CallMethodCached: ids are allocated at lowering time
+   but are *unit-local* (0-based per lowered IR); Translation.place maps
+   them onto globally unique ids when the code is installed, keeping the
+   lowering pipeline free of shared mutable state (JIT workers run it
+   concurrently during retranslate-all) *)
+let new_cache_id (u : Ir.t) = u.Ir.next_cache <- u.Ir.next_cache + 1; u.Ir.next_cache - 1
 
 type inline_ctx = {
   in_fid : int;
@@ -884,7 +887,7 @@ and lower_method_call env b st ~bcpc ~fr ~delta ~ty_of_depth ~succ
   in
   let fallback () =
     if env.opts.o_inline_cache && env.mode <> Profiling then
-      finish_helper (CallMethodCached (mname, new_cache_id ()))
+      finish_helper (CallMethodCached (mname, new_cache_id env.u))
     else finish_helper (CallMethodSlow mname)
   in
   (* (a) receiver class statically known (Specialized guard): devirtualize

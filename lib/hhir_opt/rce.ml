@@ -25,13 +25,17 @@
 open Hhir.Ir
 module R = Hhbc.Rtype
 
+(* bumped from JIT worker domains during parallel retranslate-all; atomic
+   counters keep the totals exact under any schedule *)
 type stats = {
-  mutable pairs_eliminated : int;
-  mutable decref_nz : int;
+  pairs_eliminated : int Atomic.t;
+  decref_nz : int Atomic.t;
 }
 
-let stats = { pairs_eliminated = 0; decref_nz = 0 }
-let reset_stats () = stats.pairs_eliminated <- 0; stats.decref_nz <- 0
+let stats = { pairs_eliminated = Atomic.make 0; decref_nz = Atomic.make 0 }
+let reset_stats () =
+  Atomic.set stats.pairs_eliminated 0;
+  Atomic.set stats.decref_nz 0
 
 let may_alias (a : tmp) (b : tmp) : bool =
   R.maybe_counted a.t_ty && R.maybe_counted b.t_ty
@@ -88,7 +92,7 @@ let run (u : t) : int =
                  dead.(idx) <- true;
                  dead.(!j) <- true;
                  incr eliminated;
-                 stats.pairs_eliminated <- stats.pairs_eliminated + 1;
+                 Atomic.incr stats.pairs_eliminated;
                  stop := true
                | _ ->
                  if observes ij t then stop := true
@@ -109,7 +113,7 @@ let run (u : t) : int =
            | DecRef, [ t ] when Hashtbl.mem incref_live t.t_id ->
              i.i_op <- DecRefNZ;
              Hashtbl.remove incref_live t.t_id;
-             stats.decref_nz <- stats.decref_nz + 1
+             Atomic.incr stats.decref_nz
              (* publication (StLoc/StStk/StPropRaw) does NOT clear the
                 protection: the stored reference keeps the count >= 2 until
                 the slot is overwritten, which emits a DecRef of the old

@@ -91,24 +91,70 @@ let field_json = function
   | B b -> if b then "true" else "false"
   | F f -> Printf.sprintf "%.6g" f
 
+(* ------------------------------------------------------------------ *)
+(* Per-task buffering (parallel compile)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Events emitted inside a parallel compile task are buffered on the
+    worker's domain *without* sequence numbers; the main domain flushes
+    the buffers in publish order and assigns seq at flush time.  Trace
+    output is therefore byte-identical for any worker count: seq follows
+    the deterministic publish order, never the racey completion order.
+    The ring and the file sink are touched only by the main domain. *)
+type buffered = (category * (string * field) list) list
+
+let empty_buffer : buffered = []
+
+(** True only while a parallel compile burst runs (set by the work queue
+    around the burst), so steady-state emission skips the DLS probe. *)
+let buffering_active = ref false
+
+let buffer_key : (category * (string * field) list) list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(** Start buffering this domain's events (one call per task). *)
+let buffer_begin () : unit = Domain.DLS.set buffer_key (Some (ref []))
+
+(** Stop buffering and return the task's events in emission order. *)
+let buffer_take () : buffered =
+  match Domain.DLS.get buffer_key with
+  | Some b ->
+    Domain.DLS.set buffer_key None;
+    List.rev !b
+  | None -> []
+
+let buffering_begin () = buffering_active := true
+let buffering_end () = buffering_active := false
+
 (** Emit one event.  Call only under [on cat] so field lists are never
     built for disabled categories. *)
-let emit (cat : category) (fields : (string * field) list) : unit =
-  let buf = Buffer.create 96 in
-  Buffer.add_string buf
-    (Printf.sprintf "{\"seq\": %d, \"cat\": \"%s\"" !seq (category_name cat));
-  List.iter
-    (fun (k, v) ->
-       Buffer.add_string buf
-         (Printf.sprintf ", \"%s\": %s" (Vmstats.json_escape k) (field_json v)))
-    fields;
-  Buffer.add_string buf "}";
-  incr seq;
-  let line = Buffer.contents buf in
-  push_ring line;
-  match !out with
-  | Some (_, oc) -> output_string oc line; output_char oc '\n'
-  | None -> ()
+let rec emit (cat : category) (fields : (string * field) list) : unit =
+  let buffer =
+    if !buffering_active then Domain.DLS.get buffer_key else None
+  in
+  match buffer with
+  | Some b -> b := (cat, fields) :: !b
+  | None ->
+    let buf = Buffer.create 96 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"seq\": %d, \"cat\": \"%s\"" !seq (category_name cat));
+    List.iter
+      (fun (k, v) ->
+         Buffer.add_string buf
+           (Printf.sprintf ", \"%s\": %s" (Vmstats.json_escape k) (field_json v)))
+      fields;
+    Buffer.add_string buf "}";
+    incr seq;
+    let line = Buffer.contents buf in
+    push_ring line;
+    (match !out with
+     | Some (_, oc) -> output_string oc line; output_char oc '\n'
+     | None -> ())
+
+(** Replay a task's buffered events through the normal sinks, assigning
+    sequence numbers now.  Main domain only, in publish order. *)
+and flush_buffered (b : buffered) : unit =
+  List.iter (fun (cat, fields) -> emit cat fields) b
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)

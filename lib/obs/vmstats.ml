@@ -39,6 +39,46 @@ let enabled = ref true
 let on () = !enabled
 
 (* ------------------------------------------------------------------ *)
+(* Shards (parallel compile)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A shard is a private registry delta owned by one JIT worker domain.
+    While parallel compilation runs, probes executed on a domain that has
+    a shard installed accumulate into the shard instead of the shared
+    records; the main domain merges every shard back after joining the
+    workers, so parallel compile never drops or double-counts an event.
+
+    The hot path stays cheap: [shards_active] is false except during a
+    parallel compile burst, so steady-state probes on the main domain pay
+    the same single-branch-per-probe they always did (plus one
+    always-false flag test). *)
+type shard = {
+  sd_counters : (string, int ref) Hashtbl.t;
+  sd_hist : (string, histogram) Hashtbl.t;
+  sd_timers : (string, timer) Hashtbl.t;
+}
+
+(** True only between [shards_begin]/[shards_end]: gates the per-probe
+    domain-local lookup so it is never paid in steady state. *)
+let shards_active = ref false
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let shard_create () : shard =
+  { sd_counters = Hashtbl.create 32;
+    sd_hist = Hashtbl.create 8;
+    sd_timers = Hashtbl.create 8 }
+
+(** Install (or clear) this domain's shard.  Worker domains install one
+    before their first task; the main domain installs one too when it
+    participates in the compile burst. *)
+let shard_install (s : shard option) : unit = Domain.DLS.set shard_key s
+
+let shards_begin () = shards_active := true
+let shards_end () = shards_active := false
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -83,9 +123,53 @@ let timer (name : string) : timer =
 (* Probes (hot path)                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let bump (c : counter) = if !enabled then c.c_count <- c.c_count + 1
-let add (c : counter) (n : int) = if !enabled then c.c_count <- c.c_count + n
+(* Shard-aware slow paths: only reached while a parallel compile burst is
+   active.  A domain without a shard (the main domain before it joins the
+   burst) still writes the shared record directly — workers are the only
+   concurrent writers and they always carry shards. *)
 
+let shard_counter (s : shard) (name : string) : int ref =
+  match Hashtbl.find_opt s.sd_counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace s.sd_counters name r;
+    r
+
+let shard_histogram (s : shard) (name : string) : histogram =
+  match Hashtbl.find_opt s.sd_hist name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; h_buckets = Array.make 63 0;
+              h_count = 0; h_sum = 0 } in
+    Hashtbl.replace s.sd_hist name h;
+    h
+
+let shard_timer (s : shard) (name : string) : timer =
+  match Hashtbl.find_opt s.sd_timers name with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; t_seconds = 0.0; t_calls = 0 } in
+    Hashtbl.replace s.sd_timers name t;
+    t
+
+let add_slow (c : counter) (n : int) =
+  match Domain.DLS.get shard_key with
+  | Some s ->
+    let r = shard_counter s c.c_name in
+    r := !r + n
+  | None -> c.c_count <- c.c_count + n
+
+let bump (c : counter) =
+  if !enabled then
+    if !shards_active then add_slow c 1 else c.c_count <- c.c_count + 1
+
+let add (c : counter) (n : int) =
+  if !enabled then
+    if !shards_active then add_slow c n else c.c_count <- c.c_count + n
+
+(* gauges are level samples taken at dump time on the main domain; they are
+   never written from compile workers, so they need no shard path *)
 let set (g : gauge) (v : int) = if !enabled then g.g_value <- v
 
 (** Index of the log2 bucket for [v]: 0 for v <= 0, else 1 + floor(log2 v). *)
@@ -97,11 +181,30 @@ let bucket_of (v : int) : int =
     min !b 62
   end
 
+let observe_record (h : histogram) (v : int) =
+  h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
 let observe (h : histogram) (v : int) =
+  if !enabled then
+    if !shards_active then
+      match Domain.DLS.get shard_key with
+      | Some s -> observe_record (shard_histogram s h.h_name) v
+      | None -> observe_record h v
+    else observe_record h v
+
+let record_seconds (t : timer) (dt : float) =
   if !enabled then begin
-    h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v
+    let t =
+      if !shards_active then
+        match Domain.DLS.get shard_key with
+        | Some s -> shard_timer s t.t_name
+        | None -> t
+      else t
+    in
+    t.t_seconds <- t.t_seconds +. dt;
+    t.t_calls <- t.t_calls + 1
   end
 
 (** Time [f], attributing its wall-clock to [t] (even if it raises). *)
@@ -110,11 +213,32 @@ let time (t : timer) (f : unit -> 'a) : 'a =
   else begin
     let t0 = Unix.gettimeofday () in
     Fun.protect
-      ~finally:(fun () ->
-          t.t_seconds <- t.t_seconds +. (Unix.gettimeofday () -. t0);
-          t.t_calls <- t.t_calls + 1)
+      ~finally:(fun () -> record_seconds t (Unix.gettimeofday () -. t0))
       f
   end
+
+(** Merge one worker's shard into the shared registry.  Main domain only,
+    after the worker has been joined; counter and histogram merges commute,
+    so totals are exact for any worker count or schedule. *)
+let shard_merge (s : shard) : unit =
+  Hashtbl.iter
+    (fun name r -> let c = counter name in c.c_count <- c.c_count + !r)
+    s.sd_counters;
+  Hashtbl.iter
+    (fun name (sh : histogram) ->
+       let h = histogram name in
+       Array.iteri
+         (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+         sh.h_buckets;
+       h.h_count <- h.h_count + sh.h_count;
+       h.h_sum <- h.h_sum + sh.h_sum)
+    s.sd_hist;
+  Hashtbl.iter
+    (fun name (st : timer) ->
+       let t = timer name in
+       t.t_seconds <- t.t_seconds +. st.t_seconds;
+       t.t_calls <- t.t_calls + st.t_calls)
+    s.sd_timers
 
 (* ------------------------------------------------------------------ *)
 (* Reads (tests, dump)                                                 *)

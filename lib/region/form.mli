@@ -10,5 +10,11 @@ val default_max_region_instrs : int
     bounded by [max_instrs]; repeats until every block is covered. *)
 val form_func_regions : ?max_instrs:int -> int -> Rdesc.t list
 
+(** Same, over a frozen TransCFG snapshot: reads no live registry state or
+    profile counters, so JIT worker domains can form regions in parallel
+    while the main domain keeps serving requests. *)
+val form_snapshot_regions :
+  ?max_instrs:int -> Transcfg.snapshot -> int -> Rdesc.t list
+
 (** Single-block region (live and profiling translations, Fig. 5). *)
 val single : Rdesc.block -> Rdesc.t

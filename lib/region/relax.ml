@@ -24,20 +24,29 @@ module R = Hhbc.Rtype
 
 let generic_threshold = 0.8
 
+(* relaxation statistics are bumped from JIT worker domains during the
+   parallel retranslate-all compile phase: atomic counters keep the totals
+   exact under any schedule (increments commute) *)
 type stats = {
-  mutable relaxed_to_uncounted : int;
-  mutable relaxed_to_generic : int;
-  mutable dropped_generic : int;
-  mutable kept : int;
-  mutable blocks_subsumed : int;
+  relaxed_to_uncounted : int Atomic.t;
+  relaxed_to_generic : int Atomic.t;
+  dropped_generic : int Atomic.t;
+  kept : int Atomic.t;
+  blocks_subsumed : int Atomic.t;
 }
 
-let stats = { relaxed_to_uncounted = 0; relaxed_to_generic = 0;
-              dropped_generic = 0; kept = 0; blocks_subsumed = 0 }
+let stats = { relaxed_to_uncounted = Atomic.make 0;
+              relaxed_to_generic = Atomic.make 0;
+              dropped_generic = Atomic.make 0;
+              kept = Atomic.make 0;
+              blocks_subsumed = Atomic.make 0 }
 
 let reset_stats () =
-  stats.relaxed_to_uncounted <- 0; stats.relaxed_to_generic <- 0;
-  stats.dropped_generic <- 0; stats.kept <- 0; stats.blocks_subsumed <- 0
+  Atomic.set stats.relaxed_to_uncounted 0;
+  Atomic.set stats.relaxed_to_generic 0;
+  Atomic.set stats.dropped_generic 0;
+  Atomic.set stats.kept 0;
+  Atomic.set stats.blocks_subsumed 0
 
 (** The widened type used when only countness matters and every observed
     type was uncounted.  Initialized-ness is preserved per constraint. *)
@@ -49,7 +58,7 @@ let uncounted_for (c : type_constraint) =
 let relax_guard ~(dist : (R.t * int) list) (g : guard) : [ `Keep | `Drop ] =
   match g.g_constraint with
   | Generic ->
-    stats.dropped_generic <- stats.dropped_generic + 1;
+    Atomic.incr stats.dropped_generic;
     `Drop
   | Countness | BoxAndCountness | BoxAndCountnessInit ->
     let total = List.fold_left (fun a (_, w) -> a + w) 0 dist in
@@ -62,18 +71,18 @@ let relax_guard ~(dist : (R.t * int) list) (g : guard) : [ `Keep | `Drop ] =
       dist <> [] && List.for_all (fun (t, _) -> R.not_counted t) dist
     in
     if all_uncounted || (dist = [] && R.not_counted g.g_type) then begin
-      stats.relaxed_to_uncounted <- stats.relaxed_to_uncounted + 1;
+      Atomic.incr stats.relaxed_to_uncounted;
       g.g_type <- uncounted_for g.g_constraint;
       `Keep
     end
     else if total > 0 && float_of_int counted_w >= generic_threshold *. float_of_int total
     then begin
       (* mostly counted: trade a generic rc primitive for fewer translations *)
-      stats.relaxed_to_generic <- stats.relaxed_to_generic + 1;
+      Atomic.incr stats.relaxed_to_generic;
       `Drop
     end
     else begin
-      stats.kept <- stats.kept + 1;
+      Atomic.incr stats.kept;
       `Keep
     end
   | Specific ->
@@ -81,20 +90,21 @@ let relax_guard ~(dist : (R.t * int) list) (g : guard) : [ `Keep | `Drop ] =
        Specific uses *)
     if R.subtype g.g_type R.str && not (R.equal g.g_type R.str) then
       g.g_type <- R.str;
-    stats.kept <- stats.kept + 1;
+    Atomic.incr stats.kept;
     `Keep
   | Specialized ->
-    stats.kept <- stats.kept + 1;
+    Atomic.incr stats.kept;
     `Keep
 
 (** Observed distribution for a location across retranslation siblings:
     each sibling guards the type it was specialized for, weighted by its
     profile count. *)
-let distribution (siblings : block list) (l : loc) : (R.t * int) list =
+let distribution ?(weight = Transcfg.block_weight) (siblings : block list)
+    (l : loc) : (R.t * int) list =
   List.filter_map
     (fun b ->
        List.find_opt (fun g -> g.g_loc = l) b.b_preconds
-       |> Option.map (fun g -> (g.g_type, max 1 (Transcfg.block_weight b))))
+       |> Option.map (fun g -> (g.g_type, max 1 (weight b))))
     siblings
 
 let guards_equal (a : guard list) (b : guard list) =
@@ -106,7 +116,7 @@ let guards_equal (a : guard list) (b : guard list) =
 
 (** Relax a region in place; returns the updated region (blocks whose
     preconditions became duplicates of a heavier chain sibling removed). *)
-let run (r : Rdesc.t) : Rdesc.t =
+let run ?(weight = Transcfg.block_weight) (r : Rdesc.t) : Rdesc.t =
   (* group retranslation siblings by (func, start) *)
   let groups = Hashtbl.create 8 in
   List.iter
@@ -129,7 +139,8 @@ let run (r : Rdesc.t) : Rdesc.t =
              (fun (g : guard) ->
                 let g' = { g_loc = g.g_loc; g_type = g.g_type;
                            g_constraint = g.g_constraint } in
-                match relax_guard ~dist:(distribution siblings g.g_loc) g' with
+                match relax_guard ~dist:(distribution ~weight siblings g.g_loc) g'
+                with
                 | `Keep ->
                   if not (R.equal g'.g_type g.g_type) then
                     widened := (g'.g_loc, g'.g_type) :: !widened;
@@ -172,7 +183,7 @@ let run (r : Rdesc.t) : Rdesc.t =
          | Some (_, prev) ->
            Hashtbl.replace removed b.b_id ();
            Hashtbl.replace remap b.b_id prev.b_id;
-           stats.blocks_subsumed <- stats.blocks_subsumed + 1;
+           Atomic.incr stats.blocks_subsumed;
            false
          | None ->
            seen := (key, b) :: !seen;

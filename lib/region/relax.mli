@@ -8,12 +8,14 @@
     subsumed; postconditions are widened consistently so successor guard
     elision stays sound. *)
 
+(** Counters are atomic: the pass runs concurrently on JIT worker domains
+    during parallel retranslate-all. *)
 type stats = {
-  mutable relaxed_to_uncounted : int;
-  mutable relaxed_to_generic : int;
-  mutable dropped_generic : int;
-  mutable kept : int;
-  mutable blocks_subsumed : int;
+  relaxed_to_uncounted : int Atomic.t;
+  relaxed_to_generic : int Atomic.t;
+  dropped_generic : int Atomic.t;
+  kept : int Atomic.t;
+  blocks_subsumed : int Atomic.t;
 }
 
 val stats : stats
@@ -24,5 +26,7 @@ val reset_stats : unit -> unit
 val generic_threshold : float
 
 (** Relax a region.  The input region's blocks and guards are not mutated
-    (profiling blocks are shared with the TransCFG registry). *)
-val run : Rdesc.t -> Rdesc.t
+    (profiling blocks are shared with the TransCFG registry).  [weight]
+    supplies sibling profile weights; defaults to the live TransCFG
+    registry, parallel compile passes a frozen snapshot reader. *)
+val run : ?weight:(Rdesc.block -> int) -> Rdesc.t -> Rdesc.t

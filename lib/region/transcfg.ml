@@ -28,14 +28,22 @@ let last_arc : (int * int ref) option ref = ref None
 let c_arc_events = Obs.Vmstats.counter "region.arc_events"
 let c_blocks_registered = Obs.Vmstats.counter "region.blocks_registered"
 
+(* structural version: bumped when the set of registered blocks changes
+   (not on weight bumps).  Lets retranslate-all cache derived structures
+   (C3 size tables, method-edge lists) across repeated invocations. *)
+let version_ = ref 0
+let version () = !version_
+
 let reset () =
   Hashtbl.reset blocks_by_func;
   Hashtbl.reset blocks_by_id;
   Hashtbl.reset arcs;
-  last_arc := None
+  last_arc := None;
+  incr version_
 
 let register_block (b : Rdesc.block) =
   Obs.Vmstats.bump c_blocks_registered;
+  incr version_;
   Hashtbl.replace blocks_by_id b.b_id b;
   let lst =
     match Hashtbl.find_opt blocks_by_func b.b_func with
@@ -97,3 +105,45 @@ let build (func_id : int) : t =
 let succs (cfg : t) (id : int) : (int * int) list =
   List.filter_map (fun ((s, d), w) -> if s = id then Some (d, w) else None)
     cfg.t_arcs
+
+(* ------------------------------------------------------------------ *)
+(* Frozen snapshot (parallel retranslate-all)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** An immutable view of the TransCFG for a set of functions, built on the
+    main domain before the parallel compile phase.  Workers form regions
+    and read block weights exclusively through the snapshot: the live
+    registry and the profile counters are never touched off the main
+    domain, and weights cannot drift mid-retranslate (requests executing
+    profiling code concurrently would otherwise make region shape depend
+    on timing). *)
+type snapshot = {
+  sn_cfgs : (int, t) Hashtbl.t;            (* func id -> built cfg *)
+  sn_blocks : (int, Rdesc.block) Hashtbl.t;
+  sn_weights : (int, int) Hashtbl.t;       (* block id -> frozen weight *)
+}
+
+let snapshot (funcs : int list) : snapshot =
+  let sn_cfgs = Hashtbl.create (2 * List.length funcs + 1) in
+  let sn_blocks = Hashtbl.create 256 in
+  let sn_weights = Hashtbl.create 256 in
+  List.iter
+    (fun fid ->
+       let cfg = build fid in
+       Hashtbl.replace sn_cfgs fid cfg;
+       List.iter
+         (fun (b : Rdesc.block) ->
+            Hashtbl.replace sn_blocks b.b_id b;
+            Hashtbl.replace sn_weights b.b_id (block_weight b))
+         cfg.nodes)
+    funcs;
+  { sn_cfgs; sn_blocks; sn_weights }
+
+let snap_cfg (s : snapshot) (fid : int) : t =
+  Option.value (Hashtbl.find_opt s.sn_cfgs fid) ~default:{ nodes = []; t_arcs = [] }
+
+let snap_block (s : snapshot) (id : int) : Rdesc.block =
+  Hashtbl.find s.sn_blocks id
+
+let snap_weight (s : snapshot) (b : Rdesc.block) : int =
+  Option.value (Hashtbl.find_opt s.sn_weights b.Rdesc.b_id) ~default:0

@@ -29,6 +29,7 @@ type trace = {
   t_steady_rps : float;       (* requests per megacycle, steady state *)
   t_pct_live_steady : float;  (* §6.2: share of JITed-code time in live code *)
   t_final_code_kb : int;
+  t_pause_ms : float;         (* real wall-clock pause of retranslate-all *)
 }
 
 let cycles_per_minute = 3_000_000
@@ -69,6 +70,7 @@ let simulate ?(opts : Core.Jit_options.t option)
   let minute_of c = float_of_int c /. float_of_int cycles_per_minute in
   let bucket_reqs = ref 0 and bucket_start = ref 0 in
   let retranslated = ref false in
+  let pause_ms = ref 0.0 in
   let opt_pending_until = ref max_int in
   let sample_now () =
     let now = Runtime.Ledger.read () in
@@ -100,7 +102,10 @@ let simulate ?(opts : Core.Jit_options.t option)
          uses a pool of four background threads), but delay publication by
          the simulated background-compile duration *)
       let ledger_before = Runtime.Ledger.read () in
+      let pause_before = Obs.Vmstats.timer_seconds "retranslate.pause_ms" in
       ignore (Core.Engine.retranslate_all eng);
+      pause_ms :=
+        Obs.Vmstats.timer_seconds "retranslate.pause_ms" -. pause_before;
       (* compilation happened off-thread: restore the serving ledger *)
       Runtime.Ledger.cycles := ledger_before;
       let opt_bytes = eng.Core.Engine.opt_bytes in
@@ -131,4 +136,5 @@ let simulate ?(opts : Core.Jit_options.t option)
     t_point_c_min = !point_c;
     t_steady_rps = 1.0 /. steady *. 1.0e6;
     t_pct_live_steady = pct_live;
-    t_final_code_kb = Core.Engine.code_bytes eng / 1024 }
+    t_final_code_kb = Core.Engine.code_bytes eng / 1024;
+    t_pause_ms = !pause_ms }

@@ -11,6 +11,14 @@
 
 type counter_id = int
 
+(* structural profile version: bumped when a new call site, call-graph
+   edge, or receiver class is first observed — not on weight bumps of
+   existing entries.  Retranslate-all keys its derived-structure cache
+   (C3 size table, resolved method-edge list) on this, so repeated
+   retranslations skip re-scanning an unchanged profile shape. *)
+let version_ = ref 0
+let version () = !version_
+
 let counters : int array ref = ref (Array.make 1024 0)
 let n_counters = ref 0
 
@@ -41,7 +49,9 @@ let record_method_target ?(mname : string option) ~(func : int) ~(pc : int)
     ~(cls : int) () =
   let key = { cs_func = func; cs_pc = pc } in
   (match mname with
-   | Some n -> Hashtbl.replace method_names key n
+   | Some n ->
+     if not (Hashtbl.mem method_names key) then incr version_;
+     Hashtbl.replace method_names key n
    | None -> ());
   (* cls < 0 registers the call site (name) without counting a receiver *)
   if cls >= 0 then begin
@@ -53,7 +63,11 @@ let record_method_target ?(mname : string option) ~(func : int) ~(pc : int)
         Hashtbl.replace method_targets key t;
         t
     in
-    Hashtbl.replace tbl cls (1 + Option.value (Hashtbl.find_opt tbl cls) ~default:0)
+    (match Hashtbl.find_opt tbl cls with
+     | Some n -> Hashtbl.replace tbl cls (n + 1)
+     | None ->
+       incr version_;
+       Hashtbl.replace tbl cls 1)
   end
 
 (** (caller, mname, receiver-class, weight) tuples for call-graph edges. *)
@@ -80,7 +94,11 @@ let call_edges : (int * int, int) Hashtbl.t = Hashtbl.create 256
 
 let record_call ~(caller : int) ~(callee : int) =
   let k = (caller, callee) in
-  Hashtbl.replace call_edges k (1 + Option.value (Hashtbl.find_opt call_edges k) ~default:0)
+  match Hashtbl.find_opt call_edges k with
+  | Some n -> Hashtbl.replace call_edges k (n + 1)
+  | None ->
+    incr version_;
+    Hashtbl.replace call_edges k 1
 
 let call_graph () : ((int * int) * int) list =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) call_edges []
@@ -106,6 +124,7 @@ let func_entry_count (fid : int) =
   if fid < Array.length a then a.(fid) else 0
 
 let reset () =
+  incr version_;
   counters := Array.make 1024 0;
   n_counters := 0;
   Hashtbl.reset method_targets;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI for the HHVM-JIT reproduction:
+#   1. warning-clean build audit (threads/domain deps must be declared,
+#      so a fresh `dune build` prints nothing),
+#   2. tier-1 test suite,
+#   3. parallel retranslate-all smoke: JIT_WORKERS=4 exercises the env
+#      path, and `bench/main.exe json` sweeps --jit-workers {1,2,4} and
+#      exits nonzero when output hashes or code-cache byte totals
+#      diverge across worker counts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (warning audit) =="
+build_log=$(dune build 2>&1) || { echo "$build_log"; exit 1; }
+if [ -n "$build_log" ]; then
+  echo "$build_log"
+  echo "ERROR: build is not warning-clean"
+  exit 1
+fi
+
+echo "== tier-1 tests =="
+dune runtest
+
+echo "== parallel retranslate smoke (4 workers) =="
+JIT_WORKERS=4 dune exec bench/main.exe -- json
+
+echo "CI OK"

@@ -11,4 +11,5 @@ let () =
       Test_differential.suite;
       Test_edge.suite;
       Test_obs.suite;
+      Test_parallel.suite;
     ]

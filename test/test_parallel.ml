@@ -1,0 +1,209 @@
+(** Parallel retranslate-all (multi-domain compile, deterministic publish):
+
+    - Jit_worker: every task runs exactly once, results come back in task
+      order for any worker count, the queue tolerates more workers than
+      tasks, and a raising task doesn't abort the rest (first exception
+      re-raised after the join).
+    - Determinism: output hash, code-cache byte totals, and the tc-print
+      report are identical for [--jit-workers] in {1, 2, 4} on both the
+      perflab mix and a direct endpoints workload; JIT trace output (ring
+      drain, seq numbers included) is stable too.
+    - Vmstats exactness: compile-phase counters (region formation, pass
+      pipeline) merge from per-worker shards without loss or double
+      counting, so totals match the serial run exactly.
+    - Stress: requests interleaved with repeated retranslations at 4
+      workers keep producing interpreter-identical output. *)
+
+let workers_counts = [ 1; 2; 4 ]
+
+(* ---- Jit_worker queue ---- *)
+
+let test_worker_order () =
+  List.iter
+    (fun w ->
+       let tasks = Array.init 23 (fun i () -> i * i) in
+       let r = Core.Jit_worker.run ~workers:w tasks in
+       Alcotest.(check (array int))
+         (Printf.sprintf "results in task order @ %d workers" w)
+         (Array.init 23 (fun i -> i * i))
+         r)
+    [ 1; 2; 4; 9; 64 ]
+
+let test_worker_empty () =
+  Alcotest.(check (array int)) "no tasks" [||]
+    (Core.Jit_worker.run ~workers:4 [||])
+
+let test_worker_exn () =
+  let ran = Array.make 10 false in
+  let tasks =
+    Array.init 10
+      (fun i () ->
+         ran.(i) <- true;
+         if i = 3 then failwith "boom3";
+         if i = 7 then failwith "boom7";
+         i)
+  in
+  (match Core.Jit_worker.run ~workers:4 tasks with
+   | _ -> Alcotest.fail "expected a task exception to re-raise"
+   | exception Failure msg ->
+     Alcotest.(check string) "lowest-index exception wins" "boom3" msg);
+  Alcotest.(check bool) "every task still ran" true
+    (Array.for_all Fun.id ran)
+
+(* ---- Determinism across worker counts ---- *)
+
+let perflab_run (w : int) : int * int * string =
+  let r =
+    Server.Perflab.run Core.Jit_options.Region
+      ~tweak:(fun o -> o.Core.Jit_options.jit_workers <- w)
+  in
+  ( r.Server.Perflab.r_output_hash,
+    r.Server.Perflab.r_code_bytes,
+    Core.Tc_print.report ~top:10 r.Server.Perflab.r_engine )
+
+let test_perflab_determinism () =
+  let runs = List.map (fun w -> (w, perflab_run w)) workers_counts in
+  let _, (h1, b1, tc1) = List.hd runs in
+  List.iter
+    (fun (w, (h, b, tc)) ->
+       Alcotest.(check int)
+         (Printf.sprintf "perflab output hash @ %d workers" w) h1 h;
+       Alcotest.(check int)
+         (Printf.sprintf "perflab code bytes @ %d workers" w) b1 b;
+       Alcotest.(check string)
+         (Printf.sprintf "perflab tc-print @ %d workers" w) tc1 tc)
+    (List.tl runs)
+
+(* Direct endpoints workload: warm every endpoint, retranslate, keep
+   serving; returns the full output transcript plus cache/tc-print state. *)
+let endpoints_run ?(trace = false) (w : int) : string * int * string =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.mode <- Core.Jit_options.Region;
+  opts.Core.Jit_options.jit_workers <- w;
+  if trace then
+    opts.Core.Jit_options.trace <- Some "translate,retranslate-all,link";
+  let eng = Core.Engine.install ~opts u in
+  let buf = Buffer.create 4096 in
+  let serve rounds salt =
+    for k = 1 to rounds do
+      List.iteri
+        (fun i ep ->
+           Buffer.add_string buf
+             (Server.Perflab.call_endpoint u ep (salt + i + k)))
+        Workloads.Endpoints.endpoints
+    done
+  in
+  serve 30 0;
+  ignore (Core.Engine.retranslate_all eng);
+  serve 5 7;
+  (Buffer.contents buf, Core.Engine.code_bytes eng,
+   Core.Tc_print.report ~top:8 eng)
+
+let test_endpoints_determinism () =
+  let runs = List.map (fun w -> (w, endpoints_run w)) workers_counts in
+  let _, (out1, b1, tc1) = List.hd runs in
+  List.iter
+    (fun (w, (out, b, tc)) ->
+       Alcotest.(check string)
+         (Printf.sprintf "endpoints output @ %d workers" w) out1 out;
+       Alcotest.(check int)
+         (Printf.sprintf "endpoints code bytes @ %d workers" w) b1 b;
+       Alcotest.(check string)
+         (Printf.sprintf "endpoints tc-print @ %d workers" w) tc1 tc)
+    (List.tl runs)
+
+let test_trace_determinism () =
+  let trace_run w =
+    ignore (endpoints_run ~trace:true w);
+    let lines = Obs.Trace.drain () in
+    Obs.Trace.configure ~spec:None ();
+    lines
+  in
+  let runs = List.map (fun w -> (w, trace_run w)) workers_counts in
+  let _, l1 = List.hd runs in
+  Alcotest.(check bool) "trace produced events" true (l1 <> []);
+  List.iter
+    (fun (w, l) ->
+       Alcotest.(check (list string))
+         (Printf.sprintf "trace events (incl. seq) @ %d workers" w) l1 l)
+    (List.tl runs)
+
+(* ---- Vmstats shard-merge exactness ---- *)
+
+let compile_counters =
+  [ "region.formed"; "region.blocks"; "region.arcs_covered";
+    "pass.simplify.changed"; "pass.load_elim.changed"; "pass.gvn.changed";
+    "pass.store_elim.changed"; "pass.rce.changed"; "pass.dce.changed";
+    "pass.unreachable.changed"; "translate.rejected"; "retranslate.runs" ]
+
+let test_vmstats_exact () =
+  let counters_run w =
+    ignore (endpoints_run w);
+    List.map (fun n -> (n, Obs.Vmstats.counter_value n)) compile_counters
+  in
+  let runs = List.map (fun w -> (w, counters_run w)) workers_counts in
+  let _, c1 = List.hd runs in
+  Alcotest.(check bool) "compile-phase counters are live" true
+    (List.exists (fun (_, v) -> v > 0) c1);
+  List.iter
+    (fun (w, c) ->
+       List.iter2
+         (fun (n, v1) (_, v) ->
+            Alcotest.(check int)
+              (Printf.sprintf "counter %s @ %d workers" n w) v1 v)
+         c1 c)
+    (List.tl runs)
+
+(* ---- Stress: serving interleaved with repeated retranslations ---- *)
+
+let test_stress_interleave () =
+  let interp_out = ref "" in
+  let region_out = ref "" in
+  let run_mode (mode : Core.Jit_options.mode) (sink : string ref) =
+    let u = Vm.Loader.load Workloads.Endpoints.source in
+    ignore (Hhbbc.Assert_insert.run u);
+    ignore (Hhbbc.Bc_opt.run u);
+    let opts = Core.Jit_options.default () in
+    opts.Core.Jit_options.mode <- mode;
+    opts.Core.Jit_options.jit_workers <- 4;
+    let eng = Core.Engine.install ~opts u in
+    let buf = Buffer.create 4096 in
+    for round = 1 to 6 do
+      for k = 1 to 12 do
+        List.iteri
+          (fun i ep ->
+             Buffer.add_string buf
+               (Server.Perflab.call_endpoint u ep (round * 31 + i + k)))
+          Workloads.Endpoints.endpoints
+      done;
+      (* trigger retranslate mid-traffic, repeatedly: exercises the sort
+         cache, link invalidation, and re-publication under churn *)
+      if mode = Core.Jit_options.Region then
+        ignore (Core.Engine.retranslate_all eng)
+    done;
+    sink := Buffer.contents buf
+  in
+  run_mode Core.Jit_options.Interp interp_out;
+  run_mode Core.Jit_options.Region region_out;
+  Alcotest.(check string)
+    "interleaved retranslate output matches interpreter" !interp_out
+    !region_out
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "jit_worker task order" `Quick test_worker_order;
+      Alcotest.test_case "jit_worker empty queue" `Quick test_worker_empty;
+      Alcotest.test_case "jit_worker exception capture" `Quick test_worker_exn;
+      Alcotest.test_case "perflab determinism {1,2,4}" `Quick
+        test_perflab_determinism;
+      Alcotest.test_case "endpoints determinism {1,2,4}" `Quick
+        test_endpoints_determinism;
+      Alcotest.test_case "trace seq determinism {1,2,4}" `Quick
+        test_trace_determinism;
+      Alcotest.test_case "vmstats shard-merge exactness" `Quick
+        test_vmstats_exact;
+      Alcotest.test_case "stress: requests x retranslate" `Quick
+        test_stress_interleave ] )
