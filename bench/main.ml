@@ -1,7 +1,8 @@
 (** The benchmark harness: regenerates every table and figure of the paper's
     evaluation (§6) on the simulated substrate.
 
-    Usage: main.exe [fig8|fig9|fig10|fig11|table1|ablate|vmstats|micro|json|all]
+    Usage: main.exe
+      [fig8|fig9|fig10|fig11|table1|ablate|vmstats|serving|micro|json|all]
 
     Absolute numbers are not expected to match the paper (the substrate is
     a deterministic simulator, not Facebook production hardware); the
@@ -352,6 +353,125 @@ let measure_retranslate ~(reps : int) (workers : int)
   done;
   (!best, !best_compile, Option.get !last)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel request serving: throughput by request-worker count        *)
+(* ------------------------------------------------------------------ *)
+
+type serving_sample = {
+  ss_jit_workers : int;
+  ss_request_workers : int;
+  ss_requests : int;
+  ss_wall_s : float;
+  ss_req_per_s : float;
+  ss_weighted_cycles : float;       (* weighted avg cycles/request *)
+  ss_output_hash : int;
+}
+
+(** Bring up a fresh engine (warmup + retranslate, as a production server
+    would have by steady state), then serve a deterministic request mix
+    across [request_workers] domains and measure throughput.  Wall clock
+    is best-of-[reps]; outputs and the hash are deterministic, so only the
+    last run's result is kept. *)
+let measure_serving ~(reps : int) ~(jit_workers : int)
+    ~(request_workers : int) : serving_sample =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let u = Vm.Loader.load Workloads.Endpoints.source in
+    ignore (Hhbbc.Assert_insert.run u);
+    ignore (Hhbbc.Bc_opt.run u);
+    let opts = Core.Jit_options.default () in
+    opts.Core.Jit_options.jit_workers <- jit_workers;
+    opts.Core.Jit_options.request_workers <- request_workers;
+    let eng = Core.Engine.install ~opts u in
+    for round = 0 to 14 do
+      List.iter
+        (fun (ep : Workloads.Endpoints.endpoint) ->
+           let reps = max 1 (ep.Workloads.Endpoints.ep_weight / 10) in
+           for k = 0 to reps - 1 do
+             ignore (Server.Perflab.call_endpoint u ep (round * 3 + k))
+           done)
+        Workloads.Endpoints.endpoints
+    done;
+    ignore (Core.Engine.retranslate_all eng);
+    let requests = Server.Serving.mix ~rounds:30 () in
+    let r = Server.Serving.run u eng requests in
+    if r.Server.Serving.sv_wall_s < !best then best := r.Server.Serving.sv_wall_s;
+    last := Some (requests, r)
+  done;
+  let requests, r = Option.get !last in
+  let n = Array.length requests in
+  (* weighted avg cycles/request: average per endpoint, weight by mix share *)
+  let acc = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (rq : Server.Serving.request) ->
+       let name = rq.Server.Serving.rq_ep.Workloads.Endpoints.ep_name in
+       let c, k = Option.value (Hashtbl.find_opt acc name) ~default:(0, 0) in
+       Hashtbl.replace acc name (c + r.Server.Serving.sv_cycles.(i), k + 1))
+    requests;
+  let wsum, csum =
+    List.fold_left
+      (fun (ws, cs) (ep : Workloads.Endpoints.endpoint) ->
+         match Hashtbl.find_opt acc ep.ep_name with
+         | None -> (ws, cs)
+         | Some (c, k) ->
+           (ws + ep.ep_weight,
+            cs +. float_of_int ep.ep_weight
+                  *. (float_of_int c /. float_of_int k)))
+      (0, 0.0) Workloads.Endpoints.endpoints
+  in
+  { ss_jit_workers = jit_workers;
+    ss_request_workers = request_workers;
+    ss_requests = n;
+    ss_wall_s = !best;
+    ss_req_per_s = float_of_int n /. !best;
+    ss_weighted_cycles = csum /. float_of_int wsum;
+    ss_output_hash = r.Server.Serving.sv_output_hash }
+
+(** The serving sweep: request workers {1,2,4} at serial compile, plus the
+    combined (jit-workers 4 x request-workers 4) configuration.  Output
+    hashes must be identical across every configuration — a divergence
+    means a data race changed program behaviour. *)
+let serving_sweep ~(reps : int) : serving_sample list * bool =
+  let configs = [ (1, 1); (1, 2); (1, 4); (4, 4) ] in
+  let samples =
+    List.map
+      (fun (jw, rw) ->
+         measure_serving ~reps ~jit_workers:jw ~request_workers:rw)
+      configs
+  in
+  let deterministic =
+    match samples with
+    | s :: rest ->
+      List.for_all (fun s' -> s'.ss_output_hash = s.ss_output_hash) rest
+    | [] -> true
+  in
+  (samples, deterministic)
+
+let print_serving (samples : serving_sample list) (deterministic : bool) =
+  Printf.printf "%4s %4s %10s %10s %12s %14s\n"
+    "jw" "rw" "requests" "wall (s)" "req/s" "w.cycles/req";
+  List.iter
+    (fun s ->
+       Printf.printf "%4d %4d %10d %10.4f %12.0f %14.0f\n"
+         s.ss_jit_workers s.ss_request_workers s.ss_requests s.ss_wall_s
+         s.ss_req_per_s s.ss_weighted_cycles)
+    samples;
+  Printf.printf "output hash identical across configurations: %b\n"
+    deterministic;
+  if not deterministic then begin
+    prerr_endline
+      "ERROR: output hash diverges across request-worker configurations";
+    exit 1
+  end
+
+let serving () =
+  hdr "Parallel request serving: throughput by request-worker count"
+    "(HHVM serves each request on its own thread over one shared \
+     translation cache, §2; single-core hosts show no wall-clock win)";
+  let samples, deterministic = serving_sweep ~reps:3 in
+  print_serving samples deterministic
+
 let json () =
   let reps = 3 in
   let modes =
@@ -391,6 +511,8 @@ let json () =
   let pause1, _, _ = List.assoc 1 retr in
   let pause4, _, _ = List.assoc 4 retr in
   let pause_speedup = if pause4 > 0.0 then pause1 /. pause4 else 0.0 in
+  (* parallel request serving: throughput sweep + determinism check *)
+  let serving_samples, serving_deterministic = serving_sweep ~reps in
   let micro = micro_results () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
@@ -418,6 +540,21 @@ let json () =
     (Printf.sprintf
        ",\n    \"pause_speedup_4w\": %.2f,\n    \"deterministic\": %b\n"
        pause_speedup retr_deterministic);
+  Buffer.add_string current "  },\n  \"serving\": {\n";
+  Buffer.add_string current
+    (String.concat ",\n"
+       (List.map
+          (fun s ->
+             Printf.sprintf
+               "    \"jw%d_rw%d\": { \"requests\": %d, \"wall_s\": %.6f, \
+                \"req_per_s\": %.1f, \"weighted_cycles_per_req\": %.1f, \
+                \"output_hash\": %d }"
+               s.ss_jit_workers s.ss_request_workers s.ss_requests
+               s.ss_wall_s s.ss_req_per_s s.ss_weighted_cycles
+               s.ss_output_hash)
+          serving_samples));
+  Buffer.add_string current
+    (Printf.sprintf ",\n    \"deterministic\": %b\n" serving_deterministic);
   Buffer.add_string current "  },\n  \"vmstats\": ";
   Buffer.add_string current vmstats_json;
   Buffer.add_string current
@@ -457,6 +594,15 @@ let json () =
   Printf.printf "retranslate pause speedup @ 4 workers: %.2fx\n" pause_speedup;
   Printf.printf "retranslate deterministic across worker counts: %b\n"
     retr_deterministic;
+  List.iter
+    (fun s ->
+       Printf.printf
+         "serving @ jw=%d rw=%d: %.0f req/s, %.0f weighted cycles/req\n"
+         s.ss_jit_workers s.ss_request_workers s.ss_req_per_s
+         s.ss_weighted_cycles)
+    serving_samples;
+  Printf.printf "serving deterministic across worker configurations: %b\n"
+    serving_deterministic;
   Printf.printf "differential hash match: %b\n" hash_match;
   if not hash_match then begin
     prerr_endline "ERROR: output hash mismatch across execution modes";
@@ -465,6 +611,11 @@ let json () =
   if not retr_deterministic then begin
     prerr_endline
       "ERROR: output hash or code bytes diverge across --jit-workers counts";
+    exit 1
+  end;
+  if not serving_deterministic then begin
+    prerr_endline
+      "ERROR: output hash diverges across request-worker configurations";
     exit 1
   end
 
@@ -569,14 +720,15 @@ let () =
    | "micro" -> micro ()
    | "ablate" -> ablate ()
    | "vmstats" -> vmstats ()
+   | "serving" -> serving ()
    | "json" -> json ()
    | "all" ->
      fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate ();
-     vmstats (); micro ()
+     vmstats (); serving (); micro ()
    | other ->
      Printf.eprintf
        "unknown target %S \
-        (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|micro|json|all)\n"
+        (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|serving|micro|json|all)\n"
        other;
      exit 1);
   line ()

@@ -63,10 +63,11 @@ let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
 
 let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     no_relax no_dispatch repeat vmstats tc_print trace trace_out no_stats
-    perflab jit_workers =
+    perflab jit_workers request_workers =
   let opts = Core.Jit_options.default () in
   opts.mode <- mode;
   if jit_workers > 0 then opts.jit_workers <- jit_workers;
+  if request_workers > 0 then opts.request_workers <- request_workers;
   if no_rce then opts.rce <- false;
   if no_inlining then opts.inlining <- false;
   if no_relax then opts.guard_relax <- false;
@@ -90,6 +91,7 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     o.stats <- opts.stats; o.trace <- opts.trace;
     o.trace_out <- opts.trace_out;
     o.jit_workers <- opts.jit_workers;
+    o.request_workers <- opts.request_workers;
     let r = Server.Perflab.measure cfg in
     Printf.printf "perflab[%s]: %.1f +- %.1f cycles/request, %d code bytes\n"
       (match mode with
@@ -99,6 +101,23 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
        | Core.Jit_options.Region -> "region")
       r.Server.Perflab.r_weighted r.Server.Perflab.r_ci99
       r.Server.Perflab.r_code_bytes;
+    (* with request-serving parallelism requested, follow the perflab run
+       with a multi-domain serving burst over the now-warm engine and
+       report throughput (the engine resolved REQUEST_WORKERS at install) *)
+    let eng = r.Server.Perflab.r_engine in
+    let rw = eng.Core.Engine.opts.Core.Jit_options.request_workers in
+    if rw > 1 then begin
+      let u = eng.Core.Engine.hunit in
+      let requests = Server.Serving.mix ~rounds:10 () in
+      let sr = Server.Serving.run u eng requests in
+      Printf.printf
+        "serving[%d workers]: %d requests in %.4f s (%.0f req/s), \
+         output hash %d\n"
+        sr.Server.Serving.sv_workers
+        (Array.length requests) sr.Server.Serving.sv_wall_s
+        (float_of_int (Array.length requests) /. sr.Server.Serving.sv_wall_s)
+        sr.Server.Serving.sv_output_hash
+    end;
     report_telemetry r.Server.Perflab.r_engine ~vmstats ~tc_print
   end else begin
     let file =
@@ -160,15 +179,16 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
       Printf.printf "\n--- stats ---\n";
       Printf.printf "cycles: %d (interp %d, compiled %d)\n"
         (Runtime.Ledger.read ())
-        !Runtime.Ledger.interp_cycles !Runtime.Ledger.jit_cycles;
+        (Runtime.Ledger.interp_cycles ()) (Runtime.Ledger.jit_cycles ());
       Printf.printf "translations: %d live, %d profiling, %d optimized\n"
         engine.Core.Engine.n_live engine.Core.Engine.n_profiling
         engine.Core.Engine.n_optimized;
       Printf.printf "code cache: %d bytes\n" (Core.Engine.code_bytes engine);
+      let hs = Runtime.Heap.stats () in
       Printf.printf "heap: %d allocated, %d freed, %d live; %d increfs, %d decrefs\n"
-        Runtime.Heap.stats.allocated Runtime.Heap.stats.freed
-        Runtime.Heap.stats.live Runtime.Heap.stats.incref_ops
-        Runtime.Heap.stats.decref_ops;
+        hs.Runtime.Heap.allocated hs.Runtime.Heap.freed
+        hs.Runtime.Heap.live hs.Runtime.Heap.incref_ops
+        hs.Runtime.Heap.decref_ops;
       let leaks = Runtime.Heap.live_allocations () in
       if leaks <> [] then
         Printf.printf "LEAKS: %s\n" (String.concat ", " leaks)
@@ -259,11 +279,20 @@ let cmd =
                  on N domains (publish stays serial and deterministic, so \
                  output is identical for any N; also JIT_WORKERS; default 1)")
   in
+  let request_workers =
+    Arg.(value & opt int 0
+         & info [ "request-workers" ] ~docv:"N"
+           ~doc:"Parallel request serving (with $(b,--perflab)): fan the \
+                 endpoint request mix across N domains over the shared \
+                 translation cache.  Per-request outputs and the aggregate \
+                 output hash are identical for any N; also REQUEST_WORKERS; \
+                 default 1 (serve on the calling domain)")
+  in
   let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
   Cmd.v (Cmd.info "hhvm_run" ~doc)
     Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
           $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat
           $ vmstats $ tc_print $ trace $ trace_out $ no_stats $ perflab
-          $ jit_workers)
+          $ jit_workers $ request_workers)
 
 let () = exit (Cmd.eval cmd)

@@ -65,7 +65,8 @@ let () =
   Printf.printf "optimized translations:      %d\n" n_opt;
   Printf.printf "code cache bytes:            %d\n" (Core.Engine.code_bytes engine);
   Printf.printf "simulated cycles (total):    %d\n" (Runtime.Ledger.read ());
-  Printf.printf "  interpreted:               %d\n" !Runtime.Ledger.interp_cycles;
-  Printf.printf "  compiled code:             %d\n" !Runtime.Ledger.jit_cycles;
+  Printf.printf "  interpreted:               %d\n" (Runtime.Ledger.interp_cycles ());
+  Printf.printf "  compiled code:             %d\n" (Runtime.Ledger.jit_cycles ());
+  let hs = Runtime.Heap.stats () in
   Printf.printf "heap: %d allocated, %d freed, %d live\n"
-    Runtime.Heap.stats.allocated Runtime.Heap.stats.freed Runtime.Heap.stats.live
+    hs.Runtime.Heap.allocated hs.Runtime.Heap.freed hs.Runtime.Heap.live

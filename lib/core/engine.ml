@@ -25,6 +25,30 @@ type slot = {
   mutable sl_mono : (Translation.t * Translation.entry) option;
 }
 
+(** An immutable published snapshot of the dispatch state (paper §5.1's
+    publish step, generalized to parallel serving): the srckey tables and
+    retranslation chains frozen at a publish point, plus the translation-
+    link generation and the huge-page mapping of the hot section that were
+    current then.  The engine swaps the published epoch with one atomic
+    store; request-serving worker domains dispatch against their pinned
+    epoch and adopt the latest one only at request boundaries, so a
+    request racing a retranslate-all runs entirely on the old epoch or
+    entirely on the new one — never on a half-published chain.  Slots are
+    private trimmed copies, so later main-domain mutation (lazy compiles,
+    chain growth, mono-cache updates) cannot leak into a published view. *)
+type epoch = {
+  ep_seq : int;                            (* publish sequence number *)
+  ep_gen : int;                            (* link generation at publish *)
+  ep_trans : slot option array array;
+  ep_huge : bool;                          (* hot-section huge-page map *)
+  ep_main_lo : int;
+  ep_main_hi : int;
+}
+
+let empty_epoch : epoch =
+  { ep_seq = 0; ep_gen = 0; ep_trans = [||];
+    ep_huge = false; ep_main_lo = 0; ep_main_hi = 0 }
+
 (** Retranslate-all sort inputs derived from the profile (C3 size table
     and resolved method-call edges).  Computing them re-scans the profile
     and resolves method names through the class table, so they are cached
@@ -61,7 +85,24 @@ type t = {
   mutable opt_bytes : int;
   mutable compile_count : int;
   mutable sort_cache : sort_cache option;
+  (* the epoch parallel-serving domains dispatch against; swapped with a
+     single atomic store by [publish_epoch] *)
+  published : epoch Atomic.t;
 }
+
+(** Per-domain serving state: the pinned epoch, a private SimCPU machine
+    (i-cache, I-TLB, inline caches), and a private monomorphic last-hit
+    table mirroring the epoch's slot dimensions.  Lives in domain-local
+    storage; the main domain has none and keeps the historical fully
+    mutable dispatch path. *)
+type serve_ctx = {
+  sx_machine : Exec.machine;
+  mutable sx_epoch : epoch;
+  mutable sx_mono : (Translation.t * Translation.entry) option array array;
+}
+
+let serve_key : serve_ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let current : t option ref = ref None
 
@@ -369,18 +410,49 @@ let entry_matches (frame : Vm.Interp.frame) (en : Translation.entry) : bool =
   end;
   matched
 
+(** Slot lookup against a frozen epoch (parallel-serving dispatch). *)
+let epoch_slot (ep : epoch) (fid : int) (pc : int) : slot option =
+  if fid < Array.length ep.ep_trans then
+    let row = ep.ep_trans.(fid) in
+    if pc < Array.length row then row.(pc) else None
+  else None
+
 (** Find a translation entry whose preconditions hold for the live state.
-    The slot's monomorphic last-hit cache is consulted first: steady-state
+    The monomorphic last-hit cache is consulted first: steady-state
     re-entry validates only the cached entry's guards instead of walking
-    the whole retranslation chain. *)
-let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
-  : (Translation.t * Translation.entry) option =
-  match find_slot eng frame.func.fn_id pc with
+    the whole retranslation chain.  On the main domain the cache lives in
+    the slot itself; a serving worker ([sx]) reads the frozen epoch's
+    slots and keeps the mono cache in its own domain-local table (frozen
+    slots are shared across domains and must not be written). *)
+let select_entry (eng : t) (sx : serve_ctx option) (frame : Vm.Interp.frame)
+    (pc : int) : (Translation.t * Translation.entry) option =
+  let fid = frame.func.fn_id in
+  let slot =
+    match sx with
+    | None -> find_slot eng fid pc
+    | Some c -> epoch_slot c.sx_epoch fid pc
+  in
+  match slot with
   | None -> None
   | Some sl ->
+    let mono_get () =
+      match sx with
+      | None -> sl.sl_mono
+      | Some c ->
+        if fid < Array.length c.sx_mono && pc < Array.length c.sx_mono.(fid)
+        then c.sx_mono.(fid).(pc)
+        else None
+    in
+    let mono_set v =
+      match sx with
+      | None -> sl.sl_mono <- v
+      | Some c ->
+        if fid < Array.length c.sx_mono && pc < Array.length c.sx_mono.(fid)
+        then c.sx_mono.(fid).(pc) <- v
+    in
     let mono_hit =
       if eng.opts.dispatch_caches then
-        match sl.sl_mono with
+        match mono_get () with
         | Some (_, en) as hit when entry_matches frame en ->
           Obs.Vmstats.bump c_mono_hit;
           hit
@@ -410,7 +482,7 @@ let select_entry (eng : t) (frame : Vm.Interp.frame) (pc : int)
        | Some _ ->
          Obs.Vmstats.bump c_chain_hit;
          Obs.Vmstats.observe h_chain_len sl.sl_len;
-         if eng.opts.dispatch_caches then sl.sl_mono <- !found
+         if eng.opts.dispatch_caches then mono_set !found
        | None -> Obs.Vmstats.bump c_chain_miss);
       !found
 
@@ -440,9 +512,25 @@ let materialize_inline (eng : t) (tr : Translation.t)
 
 (** Attempt to enter compiled code at (frame, pc); handles chaining through
     exits until compiled execution ends.  This function implements the
-    [translation_hook] contract. *)
+    [translation_hook] contract.
+
+    Two dispatch modes share this body.  On the main domain ([sx = None])
+    the historical fully mutable path runs: lazy compilation on misses,
+    bind-jump smashing, slot-resident mono caches, TransCFG arc recording.
+    On a serving worker ([sx = Some _]) the frozen path runs: lookups hit
+    the pinned epoch only, a miss falls back to the interpreter (workers
+    never compile — the shared code cache and id allocators stay
+    single-writer), links are followed read-only against the epoch's
+    generation but never smashed, and the machine is the worker's own. *)
 let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
   : Vm.Interp.enter_result =
+  let sx = Domain.DLS.get serve_key in
+  let machine, gen =
+    match sx with
+    | None -> eng.machine, eng.generation
+    | Some c -> c.sx_machine, c.sx_epoch.ep_gen
+  in
+  let frozen = sx <> None in
   let prev_prof_block : int option ref = ref None in
   (* [via] is the (translation, exit id) we are chaining out of, if any:
      when the exit's target resolves, the link is memoized there so later
@@ -455,7 +543,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
         match via with
         | Some (src, eid) when eng.opts.dispatch_caches ->
           let lk = src.Translation.tr_links.(eid) in
-          if lk.Translation.lk_gen = eng.generation then
+          if lk.Translation.lk_gen = gen then
             (match lk.Translation.lk_target with
              | Some (_, en) as tgt when entry_matches frame en ->
                Obs.Vmstats.bump c_link_follow;
@@ -473,10 +561,10 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
       | Some _ -> linked
       | None ->
         let found =
-          match select_entry eng frame pc with
+          match select_entry eng sx frame pc with
           | Some e -> Some e
           | None ->
-            if eng.opts.mode = Jit_options.Interp then None
+            if frozen || eng.opts.mode = Jit_options.Interp then None
             else begin
               (* lazy compilation; limit chain growth per srckey *)
               let chain_len =
@@ -487,13 +575,16 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
               if chain_len >= eng.opts.max_live_per_srckey then None
               else
                 match compile_lazy eng frame pc with
-                | Some _ -> select_entry eng frame pc
+                | Some _ -> select_entry eng sx frame pc
                 | None -> None
             end
         in
-        (* smash the bind: remember this exit's resolved target *)
+        (* smash the bind: remember this exit's resolved target.  Frozen
+           dispatch never smashes: links are shared, mutable, and owned by
+           the main domain's current generation. *)
         (match found, via with
-         | Some (dst, _), Some (src, eid) when eng.opts.dispatch_caches ->
+         | Some (dst, _), Some (src, eid)
+           when eng.opts.dispatch_caches && not frozen ->
            let lk = src.Translation.tr_links.(eid) in
            lk.Translation.lk_gen <- eng.generation;
            lk.Translation.lk_target <- found;
@@ -527,13 +618,17 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
                 [ ("event", Obs.Trace.S "arc");
                   ("src", Obs.Trace.I src);
                   ("dst", Obs.Trace.I rb.Rd.b_id) ];
-            Region.Transcfg.record_arc ~src ~dst:rb.Rd.b_id
+            (* the TransCFG arc registry is main-domain state (global
+               hashtables); frozen dispatch drops arcs rather than race it.
+               The per-block counters and targeted profiles still shard
+               through Vm.Prof, so worker profiling weight is not lost. *)
+            if not frozen then Region.Transcfg.record_arc ~src ~dst:rb.Rd.b_id
           | None -> ());
          prev_prof_block := Some rb.Rd.b_id
        | _ -> prev_prof_block := None);
       let entry_sp = frame.sp in
       let outcome, reader =
-        Exec.run_with_state eng.machine tr ~entry:idx ~frame ~entry_sp
+        Exec.run_with_state machine tr ~entry:idx ~frame ~entry_sp
       in
       (match outcome with
        | Exec.XReturn _ -> Obs.Vmstats.bump c_exit_return
@@ -646,6 +741,30 @@ let sort_inputs (eng : t) (funcs : int list) : sort_cache =
     eng.sort_cache <- Some sc;
     sc
 
+(** Publish the current dispatch state as a new immutable epoch (single
+    atomic store).  Slots are trimmed private copies: in-flight requests
+    keep dispatching on the epoch they pinned, new requests adopt this one
+    at their next request boundary, and no later main-domain mutation can
+    reach either.  Called by [install] (the empty gen-0 epoch) and at the
+    end of every retranslate-all; a scheduler also calls it before fanning
+    out, so lazily compiled warmup translations become visible. *)
+let publish_epoch (eng : t) : unit =
+  let freeze_slot (sl : slot) : slot =
+    { sl_chain = Array.sub sl.sl_chain 0 sl.sl_len;
+      sl_len = sl.sl_len;
+      sl_mono = None }
+  in
+  let ep_trans = Array.map (Array.map (Option.map freeze_slot)) eng.trans in
+  let lo, hi = Simcpu.Codecache.main_range eng.cache in
+  let prev = Atomic.get eng.published in
+  Atomic.set eng.published
+    { ep_seq = prev.ep_seq + 1;
+      ep_gen = eng.generation;
+      ep_trans;
+      ep_huge = eng.opts.huge_pages && eng.optimized_published;
+      ep_main_lo = lo;
+      ep_main_hi = hi }
+
 (** The global retranslation trigger (§5.1): form regions for every profiled
     function, optimize, sort functions with C3, and publish the optimized
     code.  Profiling translations are dropped (their section is reclaimed).
@@ -660,6 +779,11 @@ let sort_inputs (eng : t) (funcs : int list) : sort_cache =
 let retranslate_all (eng : t) : int =
   let t0 = Unix.gettimeofday () in
   Obs.Vmstats.bump c_retranslate;
+  (* fold profile deltas flushed by serving workers into the canonical
+     profile — "merge at retranslate-all trigger time" (the trigger may
+     itself be firing on a worker domain while its siblings keep serving
+     on their pinned epochs) *)
+  Vm.Prof.merge_pending ();
   eng.phase <- POptimized;
   (* candidate functions, hottest first *)
   let funcs =
@@ -761,6 +885,9 @@ let retranslate_all (eng : t) : int =
   in
   Obs.Vmstats.record_seconds t_compile compile_ms;
   Obs.Vmstats.record_seconds t_pause stall_ms;
+  (* make the optimized tables visible to parallel-serving domains: one
+     atomic swap; requests in flight finish on the epoch they pinned *)
+  publish_epoch eng;
   !count
 
 (* ------------------------------------------------------------------ *)
@@ -801,6 +928,7 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
     n_live = 0; n_profiling = 0; n_optimized = 0;
     opt_bytes = 0; compile_count = 0;
     sort_cache = None;
+    published = Atomic.make empty_epoch;
   } in
   current := Some eng;
   (* translation ids, inline-cache ids and TransCFG block ids restart per
@@ -810,7 +938,7 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   Region.Select.next_block_id := 0;
   Region.Transcfg.reset ();
   Vm.Prof.reset ();
-  Vm.Interp.instr_count := 0;
+  Vm.Interp.reset_instr_count ();
   Region.Relax.reset_stats ();
   Hhir_opt.Rce.reset_stats ();
   (* the interpreter's per-call-site dispatch caches follow the engine's
@@ -824,7 +952,70 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
      Vm.Interp.call_dispatch := (fun u fid args this_ -> call_func eng u fid args this_);
      Vm.Interp.translation_hook := (fun frame pc -> try_enter eng frame pc)
    end);
+  publish_epoch eng;
   eng
+
+(* ------------------------------------------------------------------ *)
+(* Parallel request serving (per-domain dispatch contexts)             *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_mono (ep : epoch)
+  : (Translation.t * Translation.entry) option array array =
+  Array.map (fun row -> Array.make (Array.length row) None) ep.ep_trans
+
+let apply_epoch_itlb (ctx : serve_ctx) : unit =
+  Simcpu.Itlb.set_huge ctx.sx_machine.Exec.itlb ~enabled:ctx.sx_epoch.ep_huge
+    ~lo:ctx.sx_epoch.ep_main_lo ~hi:ctx.sx_epoch.ep_main_hi
+
+(** Turn this domain into a serving worker: pin the latest published epoch
+    and install a frozen dispatch context (private machine, private mono
+    table).  The scheduler calls this once per worker domain. *)
+let enter_serving (eng : t) : unit =
+  let ep = Atomic.get eng.published in
+  let ctx =
+    { sx_machine = Exec.create_machine (); sx_epoch = ep;
+      sx_mono = fresh_mono ep }
+  in
+  apply_epoch_itlb ctx;
+  Domain.DLS.set serve_key (Some ctx)
+
+(** Request boundary: adopt the latest published epoch if it changed.  The
+    mono table is rebuilt (its entries point at the old epoch's chains)
+    and the I-TLB huge-page mapping tracks the new hot-section extent. *)
+let begin_request (eng : t) : unit =
+  match Domain.DLS.get serve_key with
+  | None -> ()
+  | Some ctx ->
+    let ep = Atomic.get eng.published in
+    if ep.ep_seq <> ctx.sx_epoch.ep_seq then begin
+      ctx.sx_epoch <- ep;
+      ctx.sx_mono <- fresh_mono ep;
+      apply_epoch_itlb ctx
+    end
+
+(** Leave serving mode; returns the worker's machine so the scheduler can
+    fold its counters into the engine's with [merge_machine]. *)
+let exit_serving () : Exec.machine option =
+  match Domain.DLS.get serve_key with
+  | None -> None
+  | Some ctx ->
+    Domain.DLS.set serve_key None;
+    Some ctx.sx_machine
+
+(** Fold a joined serving worker's machine counters into the engine's main
+    machine, so process-wide exec/i-cache/I-TLB totals stay exact. *)
+let merge_machine (eng : t) (w : Exec.machine) : unit =
+  let m = eng.machine in
+  m.Exec.instrs_executed <- m.Exec.instrs_executed + w.Exec.instrs_executed;
+  m.Exec.cycles_live <- m.Exec.cycles_live + w.Exec.cycles_live;
+  m.Exec.cycles_prof <- m.Exec.cycles_prof + w.Exec.cycles_prof;
+  m.Exec.cycles_opt <- m.Exec.cycles_opt + w.Exec.cycles_opt;
+  let mi = m.Exec.icache and wi = w.Exec.icache in
+  mi.Simcpu.Icache.accesses <- mi.Simcpu.Icache.accesses + wi.Simcpu.Icache.accesses;
+  mi.Simcpu.Icache.misses <- mi.Simcpu.Icache.misses + wi.Simcpu.Icache.misses;
+  let mt = m.Exec.itlb and wt = w.Exec.itlb in
+  mt.Simcpu.Itlb.accesses <- mt.Simcpu.Itlb.accesses + wt.Simcpu.Itlb.accesses;
+  mt.Simcpu.Itlb.misses <- mt.Simcpu.Itlb.misses + wt.Simcpu.Itlb.misses
 
 let code_bytes (eng : t) : int = Simcpu.Codecache.bytes_used eng.cache
 
@@ -849,12 +1040,13 @@ let sync_vmstats (eng : t) : unit =
   g "cycles.prof" m.cycles_prof;
   g "cycles.opt" m.cycles_opt;
   g "cycles.total" (Runtime.Ledger.read ());
-  g "heap.allocated" Runtime.Heap.stats.Runtime.Heap.allocated;
-  g "heap.freed" Runtime.Heap.stats.Runtime.Heap.freed;
-  g "heap.live" Runtime.Heap.stats.Runtime.Heap.live;
-  g "heap.incref_ops" Runtime.Heap.stats.Runtime.Heap.incref_ops;
-  g "heap.decref_ops" Runtime.Heap.stats.Runtime.Heap.decref_ops;
-  g "interp.instrs" !Vm.Interp.instr_count;
+  let hs = Runtime.Heap.stats () in
+  g "heap.allocated" hs.Runtime.Heap.allocated;
+  g "heap.freed" hs.Runtime.Heap.freed;
+  g "heap.live" hs.Runtime.Heap.live;
+  g "heap.incref_ops" hs.Runtime.Heap.incref_ops;
+  g "heap.decref_ops" hs.Runtime.Heap.decref_ops;
+  g "interp.instrs" (Vm.Interp.instr_count ());
   g "trans.live" eng.n_live;
   g "trans.profiling" eng.n_profiling;
   g "trans.optimized" eng.n_optimized;

@@ -54,6 +54,13 @@ type t = {
      or 1 at install).  The publish phase is always serial and
      deterministic, so output is identical for any value. *)
   mutable jit_workers : int;
+  (* request-serving parallelism: number of domains the request scheduler
+     (Server.Serving) fans endpoint requests across ([--request-workers N]
+     / [REQUEST_WORKERS]; 1 = serve on the calling domain; 0 = unset,
+     resolved to the environment or 1 at install — the same 0-sentinel
+     precedence rules as [jit_workers]).  Per-request outputs and the
+     aggregate output hash are identical for any value. *)
+  mutable request_workers : int;
 }
 
 let default () : t = {
@@ -81,6 +88,7 @@ let default () : t = {
   max_inline_blocks = 4;
   max_inline_instrs = 40;
   jit_workers = 0;
+  request_workers = 0;
 }
 
 (** The single config-resolution step for environment knobs, run once at
@@ -104,7 +112,14 @@ let resolve_env (t : t) : unit =
       | Some n -> t.jit_workers <- max 1 n
       | None -> ())
    | _ -> ());
-  if t.jit_workers <= 0 then t.jit_workers <- 1
+  if t.jit_workers <= 0 then t.jit_workers <- 1;
+  (match Sys.getenv_opt "REQUEST_WORKERS" with
+   | Some s when t.request_workers = 0 ->
+     (match int_of_string_opt (String.trim s) with
+      | Some n -> t.request_workers <- max 1 n
+      | None -> ())
+   | _ -> ());
+  if t.request_workers <= 0 then t.request_workers <- 1
 
 (** Disable every profile-guided optimization except region formation and
     partial inlining — the paper's "All PGO" experiment (§6.3). *)

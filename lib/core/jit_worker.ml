@@ -52,10 +52,14 @@ let run ~(workers : int) (tasks : (unit -> 'r) array) : 'r array =
       done
     in
     let run_domain () =
+      (* the calling domain may already carry a shard (a serving worker
+         that fired the retranslate trigger): save and restore it, so the
+         outer burst's routing survives this inner one *)
+      let saved = Obs.Vmstats.shard_current () in
       let shard = Obs.Vmstats.shard_create () in
       Obs.Vmstats.shard_install (Some shard);
       Fun.protect
-        ~finally:(fun () -> Obs.Vmstats.shard_install None)
+        ~finally:(fun () -> Obs.Vmstats.shard_install saved)
         worker_loop;
       shard
     in

@@ -49,12 +49,22 @@ let num_funcs (u : t) = Array.length u.functions
    process-global intern table is safe across heap resets. *)
 let string_pool : (string, Runtime.Value.value) Hashtbl.t = Hashtbl.create 256
 
+(* While parallel request serving runs, the pool is frozen: concurrent
+   lookups of an unmutated hashtable are safe, but registering a novel
+   string is not.  A miss under freeze returns an unregistered static
+   string instead — semantically identical (strings compare by value,
+   statics are uncounted either way), it just forgoes sharing.  The
+   scheduler freezes before fanning out and thaws after the join. *)
+let pool_frozen = ref false
+
+let freeze_interning (b : bool) : unit = pool_frozen := b
+
 let intern (s : string) : Runtime.Value.value =
   match Hashtbl.find_opt string_pool s with
   | Some v -> v
   | None ->
     let v = Runtime.Heap.static_str s in
-    Hashtbl.replace string_pool s v;
+    if not !pool_frozen then Hashtbl.replace string_pool s v;
     v
 
 (** Materialize a constant template into a runtime value.  Strings intern

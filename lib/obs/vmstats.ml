@@ -58,9 +58,15 @@ type shard = {
   sd_timers : (string, timer) Hashtbl.t;
 }
 
-(** True only between [shards_begin]/[shards_end]: gates the per-probe
-    domain-local lookup so it is never paid in steady state. *)
+(** True only while at least one [shards_begin]/[shards_end] window is
+    open: gates the per-probe domain-local lookup so it is never paid in
+    steady state.  The windows nest (a depth count, not a flag): a
+    retranslate-all fired from inside a parallel-serving burst opens the
+    compile window while the serving window is still open, and closing
+    the inner window must not strip the serving workers of their shard
+    routing. *)
 let shards_active = ref false
+let shards_depth = Atomic.make 0
 
 let shard_key : shard option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
@@ -75,8 +81,16 @@ let shard_create () : shard =
     participates in the compile burst. *)
 let shard_install (s : shard option) : unit = Domain.DLS.set shard_key s
 
-let shards_begin () = shards_active := true
-let shards_end () = shards_active := false
+(** This domain's currently installed shard (so a nested burst can save
+    and restore the outer one when it runs inline on this domain). *)
+let shard_current () : shard option = Domain.DLS.get shard_key
+
+let shards_begin () =
+  ignore (Atomic.fetch_and_add shards_depth 1);
+  shards_active := true
+
+let shards_end () =
+  if Atomic.fetch_and_add shards_depth (-1) = 1 then shards_active := false
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)

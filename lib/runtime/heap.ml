@@ -8,7 +8,15 @@
     Object destructors must run at the exact program point where the last
     reference dies (observable refcounting, paper §1).  Destructors are
     MiniPHP code, so freeing an object calls back into the interpreter via
-    {!destructor_hook}, which the VM installs at startup. *)
+    {!destructor_hook}, which the VM installs at startup.
+
+    Accounting is {b per domain}: each domain owns a heap context (stats,
+    audit table, allocation-id counter) in domain-local storage, so
+    parallel request serving neither races the audit hashtable nor loses
+    stat updates.  Values themselves may flow between domains (the shared
+    unit's static strings, for instance); only the bookkeeping is
+    domain-local.  A scheduler merges worker stats back with
+    {!absorb_stats} after joining, so process-wide totals stay exact. *)
 
 open Value
 
@@ -20,14 +28,28 @@ type stats = {
   mutable decref_ops : int;       (* dynamic count of DecRef operations *)
 }
 
-let stats = { allocated = 0; freed = 0; live = 0; incref_ops = 0; decref_ops = 0 }
+type ctx = {
+  c_stats : stats;
+  (* Audit table: allocation id -> short description.  Populated only when
+     [audit_enabled]; the differential test suite turns it on. *)
+  c_audit : (int, string) Hashtbl.t;
+  mutable c_next_id : int;
+}
 
-(* Audit table: allocation id -> short description.  Populated only when
-   [audit_enabled]; the differential test suite turns it on. *)
+let fresh_ctx () : ctx =
+  { c_stats = { allocated = 0; freed = 0; live = 0;
+                incref_ops = 0; decref_ops = 0 };
+    c_audit = Hashtbl.create 256;
+    c_next_id = 0 }
+
+let ctx_key : ctx Domain.DLS.key = Domain.DLS.new_key fresh_ctx
+
+let ctx () : ctx = Domain.DLS.get ctx_key
+
+(** This domain's heap statistics (a live record: reads are current). *)
+let stats () : stats = (ctx ()).c_stats
+
 let audit_enabled = ref true
-let audit : (int, string) Hashtbl.t = Hashtbl.create 256
-
-let next_id = ref 0
 
 (** Installed by the VM: runs a MiniPHP [__destruct] method. *)
 let destructor_hook : (obj counted -> unit) ref =
@@ -38,40 +60,58 @@ let destructor_hook : (obj counted -> unit) ref =
 let has_destructor_hook : (int -> bool) ref = ref (fun _ -> false)
 
 let reset () =
-  stats.allocated <- 0; stats.freed <- 0; stats.live <- 0;
-  stats.incref_ops <- 0; stats.decref_ops <- 0;
-  Hashtbl.reset audit;
-  next_id := 0
+  let c = ctx () in
+  let s = c.c_stats in
+  s.allocated <- 0; s.freed <- 0; s.live <- 0;
+  s.incref_ops <- 0; s.decref_ops <- 0;
+  Hashtbl.reset c.c_audit;
+  c.c_next_id <- 0
+
+(** Fold a joined worker's stats into this domain's (scheduler join).
+    [live] carries over too: a leak on any worker shows in the total. *)
+let absorb_stats (w : stats) =
+  let s = stats () in
+  s.allocated <- s.allocated + w.allocated;
+  s.freed <- s.freed + w.freed;
+  s.live <- s.live + w.live;
+  s.incref_ops <- s.incref_ops + w.incref_ops;
+  s.decref_ops <- s.decref_ops + w.decref_ops
 
 let alloc_raw (kind : string) (data : 'a) : 'a counted =
-  incr next_id;
-  let id = !next_id in
-  stats.allocated <- stats.allocated + 1;
-  stats.live <- stats.live + 1;
-  if !audit_enabled then Hashtbl.replace audit id kind;
+  let c = ctx () in
+  c.c_next_id <- c.c_next_id + 1;
+  let id = c.c_next_id in
+  let s = c.c_stats in
+  s.allocated <- s.allocated + 1;
+  s.live <- s.live + 1;
+  if !audit_enabled then Hashtbl.replace c.c_audit id kind;
   { rc = 1; id; data }
 
 let free_raw (node : 'a counted) (kind : string) =
+  let c = ctx () in
   if !audit_enabled then begin
-    if not (Hashtbl.mem audit node.id) then
+    if not (Hashtbl.mem c.c_audit node.id) then
       failwith (Printf.sprintf "heap audit: double free of %s#%d" kind node.id);
-    Hashtbl.remove audit node.id
+    Hashtbl.remove c.c_audit node.id
   end;
-  stats.freed <- stats.freed + 1;
-  stats.live <- stats.live - 1;
+  let s = c.c_stats in
+  s.freed <- s.freed + 1;
+  s.live <- s.live - 1;
   (* Poison the refcount so a use-after-free trips the audit. *)
   node.rc <- min_int
 
-(** Leak check: returns descriptions of live allocations. *)
+(** Leak check: returns descriptions of this domain's live allocations. *)
 let live_allocations () =
-  Hashtbl.fold (fun id kind acc -> Printf.sprintf "%s#%d" kind id :: acc) audit []
+  Hashtbl.fold (fun id kind acc -> Printf.sprintf "%s#%d" kind id :: acc)
+    (ctx ()).c_audit []
 
 let new_str (s : string) : value = VStr (alloc_raw "str" s)
 
 (** Static (uncounted) string: not tracked by the audit, never freed. *)
 let static_str (s : string) : value =
-  incr next_id;
-  VStr { rc = static_rc; id = !next_id; data = s }
+  let c = ctx () in
+  c.c_next_id <- c.c_next_id + 1;
+  VStr { rc = static_rc; id = c.c_next_id; data = s }
 
 let empty_arr_data () : arr =
   { entries = [||]; count = 0; index = Hashtbl.create 8; next_ikey = 0;
@@ -95,22 +135,34 @@ let trace name id rc =
 
 let incref (v : value) =
   match v with
-  | VStr n -> if n.rc <> static_rc then begin n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1 end
-  | VArr n -> n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1
-  | VObj n -> trace "inc" n.id n.rc; n.rc <- n.rc + 1; stats.incref_ops <- stats.incref_ops + 1
+  | VStr n ->
+    if n.rc <> static_rc then begin
+      n.rc <- n.rc + 1;
+      let s = stats () in s.incref_ops <- s.incref_ops + 1
+    end
+  | VArr n ->
+    n.rc <- n.rc + 1;
+    let s = stats () in s.incref_ops <- s.incref_ops + 1
+  | VObj n ->
+    trace "inc" n.id n.rc;
+    n.rc <- n.rc + 1;
+    let s = stats () in s.incref_ops <- s.incref_ops + 1
   | _ -> ()
+
+let count_decref () =
+  let s = stats () in s.decref_ops <- s.decref_ops + 1
 
 let rec decref (v : value) =
   match v with
   | VStr n ->
     if n.rc <> static_rc then begin
-      stats.decref_ops <- stats.decref_ops + 1;
+      count_decref ();
       if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead str#%d" n.id);
       n.rc <- n.rc - 1;
       if n.rc = 0 then free_raw n "str"
     end
   | VArr n ->
-    stats.decref_ops <- stats.decref_ops + 1;
+    count_decref ();
     if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead arr#%d" n.id);
     n.rc <- n.rc - 1;
     if n.rc = 0 then begin
@@ -123,7 +175,7 @@ let rec decref (v : value) =
     end
   | VObj n ->
     trace "dec" n.id n.rc;
-    stats.decref_ops <- stats.decref_ops + 1;
+    count_decref ();
     if n.rc <= 0 then failwith (Printf.sprintf "heap audit: decref of dead obj#%d" n.id);
     n.rc <- n.rc - 1;
     if n.rc = 0 then begin
@@ -149,15 +201,16 @@ and free_obj n =
     JIT's refcount specialization); checked in debug. *)
 let decref_nz (v : value) =
   match v with
-  | VStr n -> if n.rc <> static_rc then begin
-      stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+  | VStr n ->
+    if n.rc <> static_rc then begin
+      count_decref (); n.rc <- n.rc - 1;
       if n.rc <= 0 then failwith "decref_nz reached zero"
     end
   | VArr n ->
-    stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+    count_decref (); n.rc <- n.rc - 1;
     if n.rc <= 0 then failwith "decref_nz reached zero"
   | VObj n ->
-    stats.decref_ops <- stats.decref_ops + 1; n.rc <- n.rc - 1;
+    count_decref (); n.rc <- n.rc - 1;
     if n.rc <= 0 then failwith "decref_nz reached zero"
   | _ -> ()
 

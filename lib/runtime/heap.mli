@@ -8,7 +8,12 @@
     Object destructors run at the exact program point where the last
     reference dies (observable refcounting, paper §1); they are MiniPHP
     code, so freeing an object calls back into the interpreter via
-    {!destructor_hook}. *)
+    {!destructor_hook}.
+
+    Accounting is per domain (domain-local storage): each domain owns its
+    stats record, audit table and allocation-id counter, so parallel
+    request serving neither races the audit hashtable nor loses stat
+    updates.  Single-domain programs behave exactly as before. *)
 
 open Value
 
@@ -20,11 +25,15 @@ type stats = {
   mutable decref_ops : int;
 }
 
-val stats : stats
+(** This domain's heap statistics (a live record: reads are current). *)
+val stats : unit -> stats
 
-(** Audit toggle and table (allocation id → kind). *)
+(** Fold a joined worker domain's stats into this domain's, so
+    process-wide totals stay exact after a parallel-serving burst. *)
+val absorb_stats : stats -> unit
+
+(** Audit toggle (process-wide; the table itself is per domain). *)
 val audit_enabled : bool ref
-val audit : (int, string) Hashtbl.t
 
 (** Runs a MiniPHP [__destruct]; installed by {!Vm.Loader}. *)
 val destructor_hook : (obj counted -> unit) ref

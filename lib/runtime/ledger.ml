@@ -3,28 +3,58 @@
     The paper's evaluation measures CPU time on production hardware; our
     substrate is simulated, so both the bytecode interpreter and the SimCPU
     execution engine charge simulated cycles here.  Every figure's
-    "performance" is requests (or work) per simulated cycle. *)
+    "performance" is requests (or work) per simulated cycle.
 
-let cycles : int ref = ref 0
+    Accounts are {b per domain} (domain-local storage): each request-serving
+    domain charges its own account, so parallel serving never loses a cycle
+    to a data race and a request's cost is measured on the domain that ran
+    it.  Single-domain programs behave exactly as before — the main domain's
+    account is created on first use and every read sees every charge.  A
+    scheduler that fans requests across domains merges the worker accounts
+    back into its own with {!absorb} after joining them. *)
 
-(* Split accounting, for the startup experiment (§6.2: time spent in live vs
-   optimized code) and the mode comparison. *)
-let interp_cycles = ref 0
-let jit_cycles = ref 0
+type acct = {
+  mutable a_cycles : int;
+  (* Split accounting, for the startup experiment (§6.2: time spent in live
+     vs optimized code) and the mode comparison. *)
+  mutable a_interp : int;
+  mutable a_jit : int;
+}
 
-let charge n = cycles := !cycles + n
+let fresh () : acct = { a_cycles = 0; a_interp = 0; a_jit = 0 }
+
+let key : acct Domain.DLS.key = Domain.DLS.new_key fresh
+
+(** This domain's account. *)
+let acct () : acct = Domain.DLS.get key
+
+let charge n = let a = acct () in a.a_cycles <- a.a_cycles + n
 
 let charge_interp n =
-  cycles := !cycles + n;
-  interp_cycles := !interp_cycles + n
+  let a = acct () in
+  a.a_cycles <- a.a_cycles + n;
+  a.a_interp <- a.a_interp + n
 
 let charge_jit n =
-  cycles := !cycles + n;
-  jit_cycles := !jit_cycles + n
+  let a = acct () in
+  a.a_cycles <- a.a_cycles + n;
+  a.a_jit <- a.a_jit + n
 
 let reset () =
-  cycles := 0;
-  interp_cycles := 0;
-  jit_cycles := 0
+  let a = acct () in
+  a.a_cycles <- 0; a.a_interp <- 0; a.a_jit <- 0
 
-let read () = !cycles
+let read () = (acct ()).a_cycles
+let interp_cycles () = (acct ()).a_interp
+let jit_cycles () = (acct ()).a_jit
+
+(** Overwrite this domain's total (the startup simulation rolls the clock
+    back to un-charge background-compile time). *)
+let set_cycles n = (acct ()).a_cycles <- n
+
+(** Fold a joined worker's account into this domain's (scheduler join). *)
+let absorb (w : acct) =
+  let a = acct () in
+  a.a_cycles <- a.a_cycles + w.a_cycles;
+  a.a_interp <- a.a_interp + w.a_interp;
+  a.a_jit <- a.a_jit + w.a_jit

@@ -74,7 +74,7 @@ let cow (node : arr counted) : arr counted =
     let copy = Heap.alloc_raw "arr" (clone_data node.data) in
     (* drop caller's reference to the original *)
     node.rc <- node.rc - 1;
-    Heap.stats.decref_ops <- Heap.stats.decref_ops + 1;
+    let s = Heap.stats () in s.Heap.decref_ops <- s.Heap.decref_ops + 1;
     copy
   end
 

@@ -1,0 +1,172 @@
+(** Parallel request serving: fan a deterministic request mix across
+    [request_workers] domains over one shared translation cache.
+
+    HHVM serves every web request on its own thread while all threads
+    execute out of a single shared code cache (§2, §5).  This module
+    reproduces that shape with OCaml domains:
+
+    - the engine's dispatch state is split into an immutable published
+      {e epoch} (frozen srckey tables, chains and links, swapped with one
+      atomic store) and per-domain mutable state (monomorphic caches,
+      method-site caches, interpreter scratch) — see [Core.Engine]'s
+      serving API;
+    - each worker pins an epoch per request ([Engine.begin_request]) so a
+      concurrent retranslate-all is adopted only at request boundaries:
+      in-flight requests finish on the epoch they started with, never on
+      a half-published table;
+    - profile counters are sharded per domain ([Vm.Prof.install_local])
+      and folded into the canonical profile at the retranslate-all
+      trigger, and vmstats / heap / ledger / machine counters are merged
+      at the join, so process-wide totals are exact for any schedule.
+
+    Determinism: endpoints are pure functions of their integer argument,
+    requests are claimed from an atomic cursor into {e slot-per-request}
+    output and cycle arrays, and the aggregate hash folds outputs in
+    request-index order — so per-request outputs and the output hash are
+    bit-identical for any worker count and any schedule.  [workers = 1]
+    serves inline on the calling domain through the historical fully
+    mutable dispatch path (lazy compile, link smashing), which the
+    parity tests pin the parallel path against. *)
+
+open Workloads.Endpoints
+
+type request = {
+  rq_ep : endpoint;
+  rq_arg : int;
+}
+
+type result = {
+  sv_outputs : string array;     (** per-request output, request order *)
+  sv_output_hash : int;          (** fold of (index, output), index order *)
+  sv_cycles : int array;         (** simulated cycles charged per request *)
+  sv_wall_s : float;             (** wall-clock for the serving burst *)
+  sv_workers : int;              (** worker count actually used *)
+}
+
+(** Deterministic weighted request mix, mirroring the Perflab measurement
+    phase: requests interleave across endpoints (consecutive requests run
+    different code, which is what makes i-cache/I-TLB locality matter),
+    hotter endpoints appear proportionally more often, and arguments are
+    a pure function of (round, endpoint, repetition, salt). *)
+let mix ?(salt = 0) ~(rounds : int) () : request array =
+  let acc = ref [] in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun ep ->
+         let reps = max 1 (ep.ep_weight / 10) in
+         for k = 0 to reps - 1 do
+           acc := { rq_ep = ep; rq_arg = 1000 + salt * 131 + round * 3 + k }
+                  :: !acc
+         done)
+      endpoints
+  done;
+  Array.of_list (List.rev !acc)
+
+let output_hash (outputs : string array) : int =
+  let h = ref 0 in
+  Array.iteri (fun i out -> h := !h lxor Hashtbl.hash (i, out)) outputs;
+  !h
+
+(* Everything a joined worker hands back for the serial merge. *)
+type worker_report = {
+  wr_shard : Obs.Vmstats.shard;
+  wr_machine : Core.Exec.machine option;
+  wr_heap : Runtime.Heap.stats;
+  wr_ledger : Runtime.Ledger.acct;
+  wr_instrs : int;
+}
+
+(** Serve [requests] and return per-request outputs/cycles plus the
+    aggregate hash.  [workers] defaults to the engine's resolved
+    [request_workers] option.  [trigger = (n, fn)] runs [fn] exactly once,
+    on whichever domain completes the [n]th request — the hook the stress
+    tests use to fire [Engine.retranslate_all] mid-burst. *)
+let run ?workers ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
+    (requests : request array) : result =
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> max 1 eng.Core.Engine.opts.Core.Jit_options.request_workers
+  in
+  let n = Array.length requests in
+  let outputs = Array.make n "" in
+  let cycles = Array.make n 0 in
+  let completed = Atomic.make 0 in
+  let fired = Atomic.make false in
+  let serve_one (i : int) : unit =
+    let rq = requests.(i) in
+    let c0 = Runtime.Ledger.read () in
+    let out = Perflab.call_endpoint u rq.rq_ep rq.rq_arg in
+    cycles.(i) <- Runtime.Ledger.read () - c0;
+    outputs.(i) <- out;
+    let done_ = 1 + Atomic.fetch_and_add completed 1 in
+    match trigger with
+    | Some (at, fn) when done_ >= at ->
+      if Atomic.compare_and_set fired false true then fn ()
+    | _ -> ()
+  in
+  let t0 = Unix.gettimeofday () in
+  if workers <= 1 then
+    (* inline on the calling domain: the historical mutable dispatch path
+       (lazy compile, link smashing, shared profile) — no freezing *)
+    for i = 0 to n - 1 do serve_one i done
+  else begin
+    (* Frozen fan-out.  Publish the current tables as an epoch, freeze
+       string interning (workers may intern novel constants), and shard
+       every per-domain counter family for the duration of the burst. *)
+    Core.Engine.publish_epoch eng;
+    Hhbc.Hunit.freeze_interning true;
+    Obs.Vmstats.shards_begin ();
+    let next = Atomic.make 0 in
+    let worker () : worker_report =
+      let shard = Obs.Vmstats.shard_create () in
+      Obs.Vmstats.shard_install (Some shard);
+      Core.Engine.enter_serving eng;
+      Vm.Prof.install_local ();
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          Core.Engine.begin_request eng;
+          serve_one i;
+          (* request boundary: fold this domain's profile increments into
+             the shared pending accumulator *)
+          Vm.Prof.flush_local ()
+        end
+      done;
+      Vm.Prof.uninstall_local ();
+      let machine = Core.Engine.exit_serving () in
+      Obs.Vmstats.shard_install None;
+      { wr_shard = shard;
+        wr_machine = machine;
+        wr_heap = Runtime.Heap.stats ();
+        wr_ledger = Runtime.Ledger.acct ();
+        wr_instrs = Vm.Interp.instr_count () }
+    in
+    let reports =
+      Array.map Domain.join
+        (Array.init workers (fun _ -> Domain.spawn worker))
+    in
+    Obs.Vmstats.shards_end ();
+    Hhbc.Hunit.freeze_interning false;
+    (* Serial merge: fold every worker's counters into the main domain's
+       so process-wide totals are exact regardless of schedule. *)
+    Array.iter
+      (fun r ->
+         Obs.Vmstats.shard_merge r.wr_shard;
+         Option.iter (Core.Engine.merge_machine eng) r.wr_machine;
+         Runtime.Heap.absorb_stats r.wr_heap;
+         Runtime.Ledger.absorb r.wr_ledger;
+         Vm.Interp.add_instr_count r.wr_instrs)
+      reports;
+    (* profile increments flushed by workers but not yet folded into the
+       canonical profile (no retranslate fired) are merged now *)
+    Vm.Prof.merge_pending ()
+  end;
+  let wall = Unix.gettimeofday () -. t0 in
+  { sv_outputs = outputs;
+    sv_output_hash = output_hash outputs;
+    sv_cycles = cycles;
+    sv_wall_s = wall;
+    sv_workers = workers }

@@ -107,7 +107,7 @@ let simulate ?(opts : Core.Jit_options.t option)
       pause_ms :=
         Obs.Vmstats.timer_seconds "retranslate.pause_ms" -. pause_before;
       (* compilation happened off-thread: restore the serving ledger *)
-      Runtime.Ledger.cycles := ledger_before;
+      Runtime.Ledger.set_cycles ledger_before;
       let opt_bytes = eng.Core.Engine.opt_bytes in
       opt_pending_until := ledger_before + opt_bytes * opt_cycles_per_byte;
       (* until publication, serving continues on profiling code: we model

@@ -62,20 +62,24 @@ let alloc (t : t) (s : section) (bytes : int) : int option =
     Some addr
   end
 
-(** Reset the Main+Cold cursors (used when relocating optimized code during
-    retranslate-all / function sorting).  The byte accounting of previously
-    allocated main/cold code is returned to the pool first. *)
-let reset_optimized (t : t) ~(reclaim_bytes : int) =
-  cursor t Main := base_of Main;
-  cursor t Cold := base_of Cold;
-  t.used_counted <- max 0 (t.used_counted - reclaim_bytes);
-  t.used_total <- max 0 (t.used_total - reclaim_bytes)
-
 let main_range (t : t) : int * int = (base_of Main, !(cursor t Main))
 
 (** Bytes currently allocated in one section (telemetry: the vmstats
     [code.bytes.<section>] gauges report these per kind). *)
 let section_bytes (t : t) (s : section) : int = !(cursor t s) - base_of s
+
+(** Reset the Main+Cold cursors (used when relocating optimized code during
+    retranslate-all / function sorting).  The reclaimed byte count is read
+    off the cache's own cursors — callers can't mis-report it — and is
+    returned to both the budget-counted and total pools.  Returns the
+    number of bytes reclaimed. *)
+let reset_optimized (t : t) : int =
+  let reclaimed = section_bytes t Main + section_bytes t Cold in
+  cursor t Main := base_of Main;
+  cursor t Cold := base_of Cold;
+  t.used_counted <- max 0 (t.used_counted - reclaimed);
+  t.used_total <- max 0 (t.used_total - reclaimed);
+  reclaimed
 
 let bytes_used (t : t) : int = t.used_total
 let bytes_counted (t : t) : int = t.used_counted

@@ -42,8 +42,17 @@ let translation_hook : (frame -> int -> enter_result) ref =
 
 (** Counts charged by interpreted execution only; used by Figure 9's
     "time in live vs optimized code" statistic.  Reset at engine install
-    (it feeds the [interp.instrs] vmstats gauge per run). *)
-let instr_count = ref 0
+    (it feeds the [interp.instrs] vmstats gauge per run).  One counter per
+    domain: request-serving workers count on their own cell and the
+    scheduler folds the counts back with {!add_instr_count} at join. *)
+let instr_count_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let instr_count () : int = !(Domain.DLS.get instr_count_key)
+let reset_instr_count () = Domain.DLS.get instr_count_key := 0
+let add_instr_count (n : int) =
+  let c = Domain.DLS.get instr_count_key in
+  c := !c + n
 
 (* Per-opcode execution counters ([interp.op.<Name>]), indexed by the
    dense opcode id — one array load + field bump per interpreted
@@ -286,22 +295,27 @@ type meth_site_cache = {
   mutable sc_meth : Runtime.Vclass.meth option;
 }
 
-(* fid -> pc -> cache; rows allocated lazily per function *)
-let meth_site_caches : meth_site_cache array array ref = ref [||]
+(* fid -> pc -> cache; rows allocated lazily per function.  One table per
+   domain (domain-local storage): the cache entries are mutable, so
+   request-serving domains must not share them — each domain warms its own
+   table, which is also what a per-thread cache would do in a real VM. *)
+let meth_site_caches_key : meth_site_cache array array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
 
 (** Engine policy switch: also covers the JIT-side dispatch caches. *)
 let dispatch_caches_enabled = ref true
 
-let reset_meth_site_caches () = meth_site_caches := [||]
+let reset_meth_site_caches () = Domain.DLS.get meth_site_caches_key := [||]
 
 let meth_site_cache (fid : int) (pc : int) ~(body_len : int) : meth_site_cache =
-  let tbl = !meth_site_caches in
+  let cell = Domain.DLS.get meth_site_caches_key in
+  let tbl = !cell in
   let tbl =
     if fid < Array.length tbl then tbl
     else begin
       let bigger = Array.make (max (fid + 1) (2 * Array.length tbl + 8)) [||] in
       Array.blit tbl 0 bigger 0 (Array.length tbl);
-      meth_site_caches := bigger;
+      cell := bigger;
       bigger
     end
   in
@@ -339,6 +353,7 @@ let find_handler (fr : frame) (pc : int) (exn_v : value) : ex_entry option =
     Consults the JIT at taken-jump targets (OSR entry points). *)
 let rec run (fr : frame) (start_pc : int) : value =
   let code = fr.func.fn_body in
+  let icount = Domain.DLS.get instr_count_key in
   let pc = ref start_pc in
   let ret : value option ref = ref None in
   while Option.is_none !ret do
@@ -346,7 +361,7 @@ let rec run (fr : frame) (start_pc : int) : value =
     try
       let i = code.(this_pc) in
       charge (Cost.instr_cost i);
-      incr instr_count;
+      incr icount;
       if Obs.Vmstats.on () then
         Obs.Vmstats.bump (Lazy.force op_counters).(Hhbc.Instr.opcode_id i);
       (* default: fall through *)

@@ -1,17 +1,26 @@
 (** The VM's output buffer (echo / print).  Differential tests compare this
-    buffer across execution modes. *)
+    buffer across execution modes.
 
-let buf = Buffer.create 1024
+    One buffer per domain (domain-local storage): parallel request serving
+    captures each request's output on the domain that ran it, with no
+    cross-domain interleaving.  Single-domain programs see exactly the old
+    behavior — the main domain's buffer is created on first use. *)
 
-let write (s : string) = Buffer.add_string buf s
+let key : Buffer.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Buffer.create 1024)
 
-let contents () = Buffer.contents buf
+let buf () : Buffer.t = Domain.DLS.get key
 
-let reset () = Buffer.clear buf
+let write (s : string) = Buffer.add_string (buf ()) s
+
+let contents () = Buffer.contents (buf ())
+
+let reset () = Buffer.clear (buf ())
 
 (** Capture the output produced by [f]. *)
 let capture (f : unit -> 'a) : 'a * string =
-  let before = Buffer.length buf in
+  let b = buf () in
+  let before = Buffer.length b in
   let r = f () in
-  let s = Buffer.sub buf before (Buffer.length buf - before) in
+  let s = Buffer.sub b before (Buffer.length b - before) in
   (r, s)

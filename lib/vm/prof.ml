@@ -7,7 +7,21 @@
       the block execution frequencies.
     - Targeted profiles (item 4): method-call receiver classes per call
       site, used by the method-dispatch optimization (§5.3.3), and function
-      call counts used by function sorting (§5.1.1). *)
+      call counts used by function sorting (§5.1.1).
+
+    {b Sharding for parallel request serving.}  The canonical profile lives
+    in one main context; every consumer of the profile (region formation,
+    C3 sorting, profile-guided dispatch) reads it.  Hot-path {e writes}
+    route through a domain-local write context: on the main domain that is
+    the main context itself (the historical single-domain behavior, zero
+    indirection beyond one DLS read), while request-serving worker domains
+    install a private context ({!install_local}) so profiling translations
+    racing on N domains never touch a shared hashtable.  Workers drain
+    their context into a mutex-guarded pending accumulator at request
+    boundaries ({!flush_local}); the retranslate-all trigger folds the
+    accumulator into the canonical profile ({!merge_pending}) before it
+    scans the profile — counter merges commute, so totals are exact for
+    any worker count or schedule. *)
 
 type counter_id = int
 
@@ -15,58 +29,103 @@ type counter_id = int
    edge, or receiver class is first observed — not on weight bumps of
    existing entries.  Retranslate-all keys its derived-structure cache
    (C3 size table, resolved method-edge list) on this, so repeated
-   retranslations skip re-scanning an unchanged profile shape. *)
+   retranslations skip re-scanning an unchanged profile shape.  Merging a
+   worker shard bumps it only for entries the canonical profile had never
+   seen, preserving that contract. *)
 let version_ = ref 0
 let version () = !version_
 
-let counters : int array ref = ref (Array.make 1024 0)
+type callsite = { cs_func : int; cs_pc : int }
+
+type ctx = {
+  mutable px_counters : int array;
+  px_method_targets : (callsite, (int, int) Hashtbl.t) Hashtbl.t;
+  (* method name per call site, so the call graph can resolve edges *)
+  px_method_names : (callsite, string) Hashtbl.t;
+  (* dynamic call-graph edges (caller -> callee), for C3 sorting *)
+  px_call_edges : (int * int, int) Hashtbl.t;
+  (* per-function entry counts (hotness): bumped on *every* PHP-level
+     call, so a dense array rather than a hashtable *)
+  mutable px_func_entries : int array;
+}
+
+let fresh_ctx () : ctx =
+  { px_counters = Array.make 1024 0;
+    px_method_targets = Hashtbl.create 64;
+    px_method_names = Hashtbl.create 64;
+    px_call_edges = Hashtbl.create 256;
+    px_func_entries = Array.make 256 0 }
+
+(** The canonical profile: all reads, and main-domain writes. *)
+let main_ctx : ctx = fresh_ctx ()
+
+(* The domain's write target; main context unless a worker installed a
+   private one.  Counter ids are allocated from the main domain only
+   (profiling compiles never run on serving workers), so worker contexts
+   just mirror the id space. *)
+let write_key : ctx Domain.DLS.key = Domain.DLS.new_key (fun () -> main_ctx)
+
+let wctx () : ctx = Domain.DLS.get write_key
+
+(** Give this domain a private write context (request-serving workers). *)
+let install_local () = Domain.DLS.set write_key (fresh_ctx ())
+
+let uninstall_local () = Domain.DLS.set write_key main_ctx
+
+(* --- counters --- *)
+
 let n_counters = ref 0
+
+let ensure_counter (c : ctx) (id : int) =
+  if id >= Array.length c.px_counters then begin
+    let n = ref (max 1024 (Array.length c.px_counters)) in
+    while id >= !n do n := 2 * !n done;
+    let bigger = Array.make !n 0 in
+    Array.blit c.px_counters 0 bigger 0 (Array.length c.px_counters);
+    c.px_counters <- bigger
+  end
 
 let new_counter () : counter_id =
   let id = !n_counters in
   incr n_counters;
-  if id >= Array.length !counters then begin
-    let bigger = Array.make (2 * Array.length !counters) 0 in
-    Array.blit !counters 0 bigger 0 (Array.length !counters);
-    counters := bigger
-  end;
+  ensure_counter main_ctx id;
   id
 
-let incr_counter (id : counter_id) = !counters.(id) <- !counters.(id) + 1
+let incr_counter (id : counter_id) =
+  let c = wctx () in
+  ensure_counter c id;
+  c.px_counters.(id) <- c.px_counters.(id) + 1
 
-let read_counter (id : counter_id) = !counters.(id)
+let read_counter (id : counter_id) =
+  if id < Array.length main_ctx.px_counters then main_ctx.px_counters.(id)
+  else 0
 
 (* --- method-call receiver profiles, keyed by (func, bytecode pc) --- *)
 
-type callsite = { cs_func : int; cs_pc : int }
-
-let method_targets : (callsite, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64
-
-(* method name per call site, so the call graph can resolve edges *)
-let method_names : (callsite, string) Hashtbl.t = Hashtbl.create 64
-
 let record_method_target ?(mname : string option) ~(func : int) ~(pc : int)
     ~(cls : int) () =
+  let c = wctx () in
   let key = { cs_func = func; cs_pc = pc } in
   (match mname with
    | Some n ->
-     if not (Hashtbl.mem method_names key) then incr version_;
-     Hashtbl.replace method_names key n
+     if not (Hashtbl.mem c.px_method_names key) && c == main_ctx then
+       incr version_;
+     Hashtbl.replace c.px_method_names key n
    | None -> ());
   (* cls < 0 registers the call site (name) without counting a receiver *)
   if cls >= 0 then begin
     let tbl =
-      match Hashtbl.find_opt method_targets key with
+      match Hashtbl.find_opt c.px_method_targets key with
       | Some t -> t
       | None ->
         let t = Hashtbl.create 4 in
-        Hashtbl.replace method_targets key t;
+        Hashtbl.replace c.px_method_targets key t;
         t
     in
     (match Hashtbl.find_opt tbl cls with
      | Some n -> Hashtbl.replace tbl cls (n + 1)
      | None ->
-       incr version_;
+       if c == main_ctx then incr version_;
        Hashtbl.replace tbl cls 1)
   end
 
@@ -74,60 +133,146 @@ let record_method_target ?(mname : string option) ~(func : int) ~(pc : int)
 let method_edges () : (int * string * int * int) list =
   Hashtbl.fold
     (fun key tbl acc ->
-       match Hashtbl.find_opt method_names key with
+       match Hashtbl.find_opt main_ctx.px_method_names key with
        | Some mname ->
          Hashtbl.fold (fun cls w acc -> (key.cs_func, mname, cls, w) :: acc) tbl acc
        | None -> acc)
-    method_targets []
+    main_ctx.px_method_targets []
 
 (** Receiver-class distribution for a call site, heaviest first. *)
 let method_target_dist ~(func : int) ~(pc : int) : (int * int) list =
-  match Hashtbl.find_opt method_targets { cs_func = func; cs_pc = pc } with
+  match Hashtbl.find_opt main_ctx.px_method_targets
+          { cs_func = func; cs_pc = pc } with
   | None -> []
   | Some t ->
     Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-(* --- dynamic call-graph edges (caller -> callee), for C3 sorting --- *)
-
-let call_edges : (int * int, int) Hashtbl.t = Hashtbl.create 256
-
 let record_call ~(caller : int) ~(callee : int) =
+  let c = wctx () in
   let k = (caller, callee) in
-  match Hashtbl.find_opt call_edges k with
-  | Some n -> Hashtbl.replace call_edges k (n + 1)
+  match Hashtbl.find_opt c.px_call_edges k with
+  | Some n -> Hashtbl.replace c.px_call_edges k (n + 1)
   | None ->
-    incr version_;
-    Hashtbl.replace call_edges k 1
+    if c == main_ctx then incr version_;
+    Hashtbl.replace c.px_call_edges k 1
 
 let call_graph () : ((int * int) * int) list =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) call_edges []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) main_ctx.px_call_edges []
 
-(* --- per-function entry counts (hotness; drives compilation order) ---
-   This is bumped on *every* PHP-level call, so it is a dense array rather
-   than a hashtable (no hashing on the call hot path). *)
-
-let func_entries : int array ref = ref (Array.make 256 0)
+(* --- per-function entry counts --- *)
 
 let record_func_entry (fid : int) =
-  let a = !func_entries in
+  let c = wctx () in
+  let a = c.px_func_entries in
   if fid < Array.length a then a.(fid) <- a.(fid) + 1
   else begin
     let bigger = Array.make (max (fid + 1) (2 * Array.length a)) 0 in
     Array.blit a 0 bigger 0 (Array.length a);
     bigger.(fid) <- 1;
-    func_entries := bigger
+    c.px_func_entries <- bigger
   end
 
 let func_entry_count (fid : int) =
-  let a = !func_entries in
+  let a = main_ctx.px_func_entries in
   if fid < Array.length a then a.(fid) else 0
+
+(* --- shard accumulation and merge --- *)
+
+let clear_ctx (c : ctx) =
+  Array.fill c.px_counters 0 (Array.length c.px_counters) 0;
+  Hashtbl.reset c.px_method_targets;
+  Hashtbl.reset c.px_method_names;
+  Hashtbl.reset c.px_call_edges;
+  Array.fill c.px_func_entries 0 (Array.length c.px_func_entries) 0
+
+(* Additive merge of [src] into [dst].  [bump_version] marks structural
+   novelty against the canonical profile (merge_pending); accumulating a
+   worker flush into the pending shard never touches the version. *)
+let merge_into (dst : ctx) ~(bump_version : bool) (src : ctx) =
+  Array.iteri
+    (fun id n ->
+       if n <> 0 then begin
+         ensure_counter dst id;
+         dst.px_counters.(id) <- dst.px_counters.(id) + n
+       end)
+    src.px_counters;
+  Hashtbl.iter
+    (fun key name ->
+       if not (Hashtbl.mem dst.px_method_names key) then begin
+         if bump_version then incr version_;
+         Hashtbl.replace dst.px_method_names key name
+       end)
+    src.px_method_names;
+  Hashtbl.iter
+    (fun key tbl ->
+       let d =
+         match Hashtbl.find_opt dst.px_method_targets key with
+         | Some d -> d
+         | None ->
+           let d = Hashtbl.create 4 in
+           Hashtbl.replace dst.px_method_targets key d;
+           d
+       in
+       Hashtbl.iter
+         (fun cls w ->
+            match Hashtbl.find_opt d cls with
+            | Some w0 -> Hashtbl.replace d cls (w0 + w)
+            | None ->
+              if bump_version then incr version_;
+              Hashtbl.replace d cls w)
+         tbl)
+    src.px_method_targets;
+  Hashtbl.iter
+    (fun k w ->
+       match Hashtbl.find_opt dst.px_call_edges k with
+       | Some w0 -> Hashtbl.replace dst.px_call_edges k (w0 + w)
+       | None ->
+         if bump_version then incr version_;
+         Hashtbl.replace dst.px_call_edges k w)
+    src.px_call_edges;
+  Array.iteri
+    (fun fid n ->
+       if n <> 0 then begin
+         let a = dst.px_func_entries in
+         if fid >= Array.length a then begin
+           let bigger = Array.make (max (fid + 1) (2 * Array.length a)) 0 in
+           Array.blit a 0 bigger 0 (Array.length a);
+           dst.px_func_entries <- bigger
+         end;
+         dst.px_func_entries.(fid) <- dst.px_func_entries.(fid) + n
+       end)
+    src.px_func_entries
+
+(* Profile deltas flushed by workers, awaiting the retranslate trigger. *)
+let pending : ctx = fresh_ctx ()
+let pending_mutex = Mutex.create ()
+
+let locked (f : unit -> 'a) : 'a =
+  Mutex.lock pending_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pending_mutex) f
+
+(** Drain this domain's private profile into the pending accumulator
+    (request boundary on a serving worker; no-op on the main domain). *)
+let flush_local () =
+  let c = wctx () in
+  if c != main_ctx then begin
+    locked (fun () -> merge_into pending ~bump_version:false c);
+    clear_ctx c
+  end
+
+(** Fold every flushed worker delta into the canonical profile.  Called by
+    the retranslate-all trigger before it scans the profile, and by the
+    scheduler after joining a serving burst. *)
+let merge_pending () =
+  locked (fun () ->
+      merge_into main_ctx ~bump_version:true pending;
+      clear_ctx pending)
 
 let reset () =
   incr version_;
-  counters := Array.make 1024 0;
+  clear_ctx main_ctx;
+  main_ctx.px_counters <- Array.make 1024 0;
+  main_ctx.px_func_entries <- Array.make 256 0;
   n_counters := 0;
-  Hashtbl.reset method_targets;
-  Hashtbl.reset method_names;
-  Hashtbl.reset call_edges;
-  func_entries := Array.make 256 0
+  locked (fun () -> clear_ctx pending)

@@ -6,7 +6,12 @@
 #   3. parallel retranslate-all smoke: JIT_WORKERS=4 exercises the env
 #      path, and `bench/main.exe json` sweeps --jit-workers {1,2,4} and
 #      exits nonzero when output hashes or code-cache byte totals
-#      diverge across worker counts.
+#      diverge across worker counts,
+#   4. parallel request-serving smoke: REQUEST_WORKERS=4 exercises the
+#      env path through a multi-domain perflab serving burst, and the
+#      combined JIT_WORKERS=4 REQUEST_WORKERS=4 `bench/main.exe serving`
+#      sweep exits nonzero when per-request outputs diverge across any
+#      (jit x request) worker configuration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,5 +28,11 @@ dune runtest
 
 echo "== parallel retranslate smoke (4 workers) =="
 JIT_WORKERS=4 dune exec bench/main.exe -- json
+
+echo "== parallel serving smoke (4 request workers) =="
+REQUEST_WORKERS=4 dune exec bin/hhvm_run.exe -- --perflab
+
+echo "== combined compile x serving sweep (4x4) =="
+JIT_WORKERS=4 REQUEST_WORKERS=4 dune exec bench/main.exe -- serving
 
 echo "CI OK"

@@ -192,6 +192,139 @@ let test_stress_interleave () =
     "interleaved retranslate output matches interpreter" !interp_out
     !region_out
 
+(* ---- Parallel request serving over the shared translation cache ---- *)
+
+(* Fresh warmed engine: every endpoint profiled, optimized code published
+   (Region mode) — the steady state a production server serves from. *)
+let serving_engine ?budget ?(mode = Core.Jit_options.Region) ()
+  : Hhbc.Hunit.t * Core.Engine.t =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.mode <- mode;
+  (match budget with
+   | Some b -> opts.Core.Jit_options.code_budget <- Some b
+   | None -> ());
+  let eng = Core.Engine.install ~opts u in
+  for round = 1 to 10 do
+    List.iteri
+      (fun i ep -> ignore (Server.Perflab.call_endpoint u ep (round * 3 + i)))
+      Workloads.Endpoints.endpoints
+  done;
+  if mode = Core.Jit_options.Region then
+    ignore (Core.Engine.retranslate_all eng);
+  (u, eng)
+
+(* One serving burst on a fresh engine.  [trigger_at] fires a full
+   retranslate-all on whichever domain completes that many requests. *)
+let serving_run ?budget ?mode ?trigger_at (workers : int)
+  : Server.Serving.result =
+  let u, eng = serving_engine ?budget ?mode () in
+  let trigger =
+    Option.map
+      (fun at -> (at, fun () -> ignore (Core.Engine.retranslate_all eng)))
+      trigger_at
+  in
+  let requests = Server.Serving.mix ~rounds:6 () in
+  Server.Serving.run ~workers ?trigger u eng requests
+
+let check_serving_equal (what : string) (r1 : Server.Serving.result)
+    (r : Server.Serving.result) =
+  Alcotest.(check (array string))
+    (what ^ ": per-request outputs") r1.Server.Serving.sv_outputs
+    r.Server.Serving.sv_outputs;
+  Alcotest.(check int) (what ^ ": output hash")
+    r1.Server.Serving.sv_output_hash r.Server.Serving.sv_output_hash
+
+let test_serving_parity () =
+  let r1 = serving_run 1 in
+  Alcotest.(check bool) "serving produced output" true
+    (Array.length r1.Server.Serving.sv_outputs > 0
+     && Array.exists (fun s -> s <> "") r1.Server.Serving.sv_outputs);
+  List.iter
+    (fun w ->
+       check_serving_equal
+         (Printf.sprintf "serving @ %d workers" w) r1 (serving_run w))
+    [ 2; 4 ]
+
+let test_serving_retranslate_stress () =
+  (* fire a full retranslate-all mid-burst: racing requests must see the
+     old epoch or the new one, never a half-published table — pinned
+     against the single-domain run with the same trigger *)
+  let n = Array.length (Server.Serving.mix ~rounds:6 ()) in
+  let r1 = serving_run ~trigger_at:(n / 3) 1 in
+  check_serving_equal "retranslate mid-burst @ 4 workers" r1
+    (serving_run ~trigger_at:(n / 3) 4)
+
+let test_serving_budget_exhaustion () =
+  (* a tiny code budget exhausts during warmup: every domain must fall
+     back to the interpreter and produce interpreter-identical output *)
+  let budget = 2000 in
+  let r1 = serving_run ~budget 1 in
+  check_serving_equal "budget-exhausted serving @ 4 workers" r1
+    (serving_run ~budget 4);
+  let ri = serving_run ~mode:Core.Jit_options.Interp 1 in
+  check_serving_equal "budget-exhausted serving vs interpreter" ri r1
+
+let test_serving_prof_exact () =
+  (* worker-sharded profile counters merge losslessly: per-function entry
+     counts after the burst are exact for any worker count *)
+  let counts w =
+    let u, eng = serving_engine () in
+    let before =
+      Array.init (Hhbc.Hunit.num_funcs u) Vm.Prof.func_entry_count
+    in
+    let requests = Server.Serving.mix ~rounds:6 () in
+    ignore (Server.Serving.run ~workers:w u eng requests);
+    Array.init (Hhbc.Hunit.num_funcs u)
+      (fun fid -> Vm.Prof.func_entry_count fid - before.(fid))
+  in
+  let c1 = counts 1 in
+  Alcotest.(check bool) "serving recorded function entries" true
+    (Array.exists (fun c -> c > 0) c1);
+  List.iter
+    (fun w ->
+       Alcotest.(check (array int))
+         (Printf.sprintf "func-entry counts @ %d workers" w) c1 (counts w))
+    [ 2; 4 ]
+
+let test_serving_heap_clean () =
+  (* request-private heap values allocated on worker domains are all freed
+     and absorbed at the join: no live-count drift vs before the burst *)
+  let u, eng = serving_engine () in
+  let live_before = (Runtime.Heap.stats ()).Runtime.Heap.live in
+  let requests = Server.Serving.mix ~rounds:6 () in
+  ignore (Server.Serving.run ~workers:4 u eng requests);
+  let hs = Runtime.Heap.stats () in
+  Alcotest.(check int) "heap live unchanged after parallel serving"
+    live_before hs.Runtime.Heap.live;
+  Alcotest.(check bool) "workers' allocations were absorbed" true
+    (hs.Runtime.Heap.allocated > live_before)
+
+(* ---- Codecache: reset_optimized accounting ---- *)
+
+let test_codecache_reset_accounting () =
+  let open Simcpu.Codecache in
+  let t = create ~budget:10_000 () in
+  ignore (alloc t Main 1_000);
+  ignore (alloc t Cold 500);
+  ignore (alloc t Prof 4_000);   (* uncounted: reclaimable prof section *)
+  ignore (alloc t Live 300);
+  Alcotest.(check int) "counted before reset" 1_800 (bytes_counted t);
+  Alcotest.(check int) "total before reset" 5_800 (bytes_used t);
+  let reclaimed = reset_optimized t in
+  Alcotest.(check int) "reclaimed = main + cold bytes" 1_500 reclaimed;
+  Alcotest.(check int) "counted after reset" 300 (bytes_counted t);
+  Alcotest.(check int) "total after reset" 4_300 (bytes_used t);
+  Alcotest.(check int) "main cursor rewound" 0 (section_bytes t Main);
+  Alcotest.(check int) "cold cursor rewound" 0 (section_bytes t Cold);
+  (* the reclaimed budget is usable again *)
+  (match alloc t Main 9_000 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "budget not returned by reset_optimized");
+  Alcotest.(check int) "counted after realloc" 9_300 (bytes_counted t)
+
 let suite =
   ( "parallel",
     [ Alcotest.test_case "jit_worker task order" `Quick test_worker_order;
@@ -206,4 +339,16 @@ let suite =
       Alcotest.test_case "vmstats shard-merge exactness" `Quick
         test_vmstats_exact;
       Alcotest.test_case "stress: requests x retranslate" `Quick
-        test_stress_interleave ] )
+        test_stress_interleave;
+      Alcotest.test_case "serving output parity {1,2,4}" `Quick
+        test_serving_parity;
+      Alcotest.test_case "serving: retranslate mid-burst @ 4 workers" `Quick
+        test_serving_retranslate_stress;
+      Alcotest.test_case "serving: code-budget exhaustion fallback" `Quick
+        test_serving_budget_exhaustion;
+      Alcotest.test_case "serving: sharded profile exactness" `Quick
+        test_serving_prof_exact;
+      Alcotest.test_case "serving: heap clean after parallel burst" `Quick
+        test_serving_heap_clean;
+      Alcotest.test_case "codecache reset_optimized accounting" `Quick
+        test_codecache_reset_accounting ] )

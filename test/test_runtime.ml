@@ -42,28 +42,28 @@ let value_tests = [
 let heap_tests = [
   t "alloc and free" (fun () ->
       let s = Heap.new_str "hello" in
-      Alcotest.(check int) "live after alloc" 1 Heap.stats.live;
+      Alcotest.(check int) "live after alloc" 1 (Heap.stats ()).Heap.live;
       Heap.decref s;
-      Alcotest.(check int) "live after free" 0 Heap.stats.live;
+      Alcotest.(check int) "live after free" 0 (Heap.stats ()).Heap.live;
       Alcotest.(check (list string)) "audit clean" [] (Heap.live_allocations ()));
   t "incref keeps alive" (fun () ->
       let s = Heap.new_str "x" in
       Heap.incref s;
       Heap.decref s;
-      Alcotest.(check int) "still live" 1 Heap.stats.live;
+      Alcotest.(check int) "still live" 1 (Heap.stats ()).Heap.live;
       Heap.decref s;
-      Alcotest.(check int) "now dead" 0 Heap.stats.live);
+      Alcotest.(check int) "now dead" 0 (Heap.stats ()).Heap.live);
   t "static strings are uncounted" (fun () ->
       let s = Heap.static_str "static" in
       Heap.incref s; Heap.decref s; Heap.decref s;
-      Alcotest.(check int) "no live counted objects" 0 Heap.stats.live);
+      Alcotest.(check int) "no live counted objects" 0 (Heap.stats ()).Heap.live);
   t "array free releases elements" (fun () ->
       let s = Heap.new_str "elem" in
       let node = Varray.of_values [ s ] in
       Heap.decref s;       (* array now sole owner *)
-      Alcotest.(check int) "two live (arr + str)" 2 Heap.stats.live;
+      Alcotest.(check int) "two live (arr + str)" 2 (Heap.stats ()).Heap.live;
       Heap.decref (Value.VArr node);
-      Alcotest.(check int) "all freed" 0 Heap.stats.live);
+      Alcotest.(check int) "all freed" 0 (Heap.stats ()).Heap.live);
   t "double free detected" (fun () ->
       let s = Heap.new_str "x" in
       Heap.decref s;
