@@ -365,6 +365,11 @@ type serving_sample = {
   ss_req_per_s : float;
   ss_weighted_cycles : float;       (* weighted avg cycles/request *)
   ss_output_hash : int;
+  (* frozen-dispatch cost of the burst itself (counter deltas around the
+     serving run; zero for rw=1, which has no frozen dispatch) *)
+  ss_miss : int;                    (* serving.translation_miss *)
+  ss_fallback : int;                (* serving.interp_fallback *)
+  ss_lazy : int;                    (* lazy_translate.compiled *)
 }
 
 (** Bring up a fresh engine (warmup + retranslate, as a production server
@@ -395,11 +400,24 @@ let measure_serving ~(reps : int) ~(jit_workers : int)
     done;
     ignore (Core.Engine.retranslate_all eng);
     let requests = Server.Serving.mix ~rounds:30 () in
+    (* per-burst counter deltas: warmup and retranslate also dispatch, so
+       the burst's own miss/fallback/lazy-compile counts are deltas around
+       the serving run (worker shards are merged at the join, so the
+       post-run read sees every worker's bumps) *)
+    let cv = Obs.Vmstats.counter_value in
+    let m0 = cv "serving.translation_miss"
+    and f0 = cv "serving.interp_fallback"
+    and l0 = cv "lazy_translate.compiled" in
     let r = Server.Serving.run u eng requests in
+    let counts =
+      (cv "serving.translation_miss" - m0,
+       cv "serving.interp_fallback" - f0,
+       cv "lazy_translate.compiled" - l0)
+    in
     if r.Server.Serving.sv_wall_s < !best then best := r.Server.Serving.sv_wall_s;
-    last := Some (requests, r)
+    last := Some (requests, r, counts)
   done;
-  let requests, r = Option.get !last in
+  let requests, r, (miss, fallback, lazy_compiled) = Option.get !last in
   let n = Array.length requests in
   (* weighted avg cycles/request: average per endpoint, weight by mix share *)
   let acc = Hashtbl.create 16 in
@@ -426,7 +444,10 @@ let measure_serving ~(reps : int) ~(jit_workers : int)
     ss_wall_s = !best;
     ss_req_per_s = float_of_int n /. !best;
     ss_weighted_cycles = csum /. float_of_int wsum;
-    ss_output_hash = r.Server.Serving.sv_output_hash }
+    ss_output_hash = r.Server.Serving.sv_output_hash;
+    ss_miss = miss;
+    ss_fallback = fallback;
+    ss_lazy = lazy_compiled }
 
 (** The serving sweep: request workers {1,2,4} at serial compile, plus the
     combined (jit-workers 4 x request-workers 4) configuration.  Output
@@ -449,13 +470,15 @@ let serving_sweep ~(reps : int) : serving_sample list * bool =
   (samples, deterministic)
 
 let print_serving (samples : serving_sample list) (deterministic : bool) =
-  Printf.printf "%4s %4s %10s %10s %12s %14s\n"
-    "jw" "rw" "requests" "wall (s)" "req/s" "w.cycles/req";
+  Printf.printf "%4s %4s %10s %10s %12s %14s %6s %6s %6s\n"
+    "jw" "rw" "requests" "wall (s)" "req/s" "w.cycles/req"
+    "miss" "interp" "lazy";
   List.iter
     (fun s ->
-       Printf.printf "%4d %4d %10d %10.4f %12.0f %14.0f\n"
+       Printf.printf "%4d %4d %10d %10.4f %12.0f %14.0f %6d %6d %6d\n"
          s.ss_jit_workers s.ss_request_workers s.ss_requests s.ss_wall_s
-         s.ss_req_per_s s.ss_weighted_cycles)
+         s.ss_req_per_s s.ss_weighted_cycles s.ss_miss s.ss_fallback
+         s.ss_lazy)
     samples;
   Printf.printf "output hash identical across configurations: %b\n"
     deterministic;
@@ -548,10 +571,11 @@ let json () =
              Printf.sprintf
                "    \"jw%d_rw%d\": { \"requests\": %d, \"wall_s\": %.6f, \
                 \"req_per_s\": %.1f, \"weighted_cycles_per_req\": %.1f, \
-                \"output_hash\": %d }"
+                \"translation_miss\": %d, \"interp_fallback\": %d, \
+                \"lazy_compiled\": %d, \"output_hash\": %d }"
                s.ss_jit_workers s.ss_request_workers s.ss_requests
                s.ss_wall_s s.ss_req_per_s s.ss_weighted_cycles
-               s.ss_output_hash)
+               s.ss_miss s.ss_fallback s.ss_lazy s.ss_output_hash)
           serving_samples));
   Buffer.add_string current
     (Printf.sprintf ",\n    \"deterministic\": %b\n" serving_deterministic);

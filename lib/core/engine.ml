@@ -143,6 +143,16 @@ let c_retranslate = Obs.Vmstats.counter "retranslate.runs"
    accumulator is unit-agnostic). *)
 let t_pause = Obs.Vmstats.timer "retranslate.pause_ms"
 let t_compile = Obs.Vmstats.timer "retranslate.compile_ms"
+(* parallel-serving dispatch: misses in a worker's frozen epoch, and the
+   subset that ended in the interpreter (lazy translation absorbs the
+   difference; with LAZY_TRANSLATE=0 the two counters coincide) *)
+let c_serving_miss = Obs.Vmstats.counter "serving.translation_miss"
+let c_serving_fallback = Obs.Vmstats.counter "serving.interp_fallback"
+(* lazy in-burst translation under the write lease *)
+let c_lazy_compiled = Obs.Vmstats.counter "lazy_translate.compiled"
+let c_lazy_covered = Obs.Vmstats.counter "lazy_translate.covered"
+let c_lazy_entered = Obs.Vmstats.counter "lazy_translate.entered"
+let c_epoch_delta = Obs.Vmstats.counter "epoch.delta_publish"
 
 (* ------------------------------------------------------------------ *)
 (* Translation tables                                                  *)
@@ -314,10 +324,14 @@ let publish (eng : t) (tr : Translation.t) =
   sl.sl_chain.(sl.sl_len) <- tr;
   sl.sl_len <- sl.sl_len + 1
 
-(** Lazily compile a live or profiling translation for (frame, pc). *)
-let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
-  : Translation.t option =
-  let fid = frame.func.fn_id in
+(** Lazily compile a live or profiling translation at (fid, pc), reading
+    input types through [oracle].  The serial path feeds it the live
+    frame; the lazy in-burst path (write-lease drain) feeds it the type
+    vectors captured when a serving worker missed.  Caller must be the
+    single compile-side writer: the main domain outside a burst, or the
+    write-lease holder during one. *)
+let compile_at (eng : t) ~(fid : int) ~(pc : int)
+    ~(oracle : Rd.loc -> Hhbc.Rtype.t) : Translation.t option =
   if no_compile eng fid pc then None
   else begin
     let kind =
@@ -327,11 +341,6 @@ let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
       | Jit_options.ProfileOnly, _ -> Translation.KProfiling
       | Jit_options.Region, PProfiling -> Translation.KProfiling
       | Jit_options.Region, POptimized -> Translation.KLive
-    in
-    let oracle (loc : Rd.loc) : Hhbc.Rtype.t =
-      match loc with
-      | Rd.LLocal l -> Hhbc.Rtype.of_value frame.locals.(l)
-      | Rd.LStack d -> Hhbc.Rtype.of_value frame.stack.(frame.sp - 1 - d)
     in
     let counter =
       if kind = Translation.KProfiling then Some (Vm.Prof.new_counter ())
@@ -377,6 +386,17 @@ let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
         None
     end
   end
+
+(** Lazily compile a translation for the live (frame, pc) — the serial
+    main-domain path. *)
+let compile_lazy (eng : t) (frame : Vm.Interp.frame) (pc : int)
+  : Translation.t option =
+  let oracle (loc : Rd.loc) : Hhbc.Rtype.t =
+    match loc with
+    | Rd.LLocal l -> Hhbc.Rtype.of_value frame.locals.(l)
+    | Rd.LStack d -> Hhbc.Rtype.of_value frame.stack.(frame.sp - 1 - d)
+  in
+  compile_at eng ~fid:frame.func.fn_id ~pc ~oracle
 
 (* ------------------------------------------------------------------ *)
 (* Entering compiled code                                              *)
@@ -486,6 +506,190 @@ let select_entry (eng : t) (sx : serve_ctx option) (frame : Vm.Interp.frame)
        | None -> Obs.Vmstats.bump c_chain_miss);
       !found
 
+(* ------------------------------------------------------------------ *)
+(* Lazy in-burst translation (write lease + incremental epoch publish) *)
+(* ------------------------------------------------------------------ *)
+
+(** Layer freshly compiled translations onto the current epoch as a delta
+    (incremental publish): copy the outer table, build fresh rows only
+    for the affected functions, and append each translation to a private
+    copy of its chain — rows of untouched functions are shared with the
+    previous epoch, which is safe because published slots are never
+    mutated.  One atomic store makes the delta visible; workers adopt it
+    at their next [begin_request] boundary.  Write-lease holder (or main
+    domain) only, so the sequence of published epochs is total. *)
+let publish_epoch_delta (eng : t) (trs : Translation.t list) : unit =
+  if trs <> [] then begin
+    let prev = Atomic.get eng.published in
+    let nfid =
+      List.fold_left
+        (fun a (tr : Translation.t) -> max a (tr.Translation.tr_fid + 1))
+        (Array.length prev.ep_trans) trs
+    in
+    let ep_trans = Array.make nfid [||] in
+    Array.blit prev.ep_trans 0 ep_trans 0 (Array.length prev.ep_trans);
+    List.iter
+      (fun (tr : Translation.t) ->
+         let fid = tr.Translation.tr_fid and pc = tr.Translation.tr_srckey in
+         let row0 = ep_trans.(fid) in
+         let row = Array.make (max (Array.length row0) (pc + 1)) None in
+         Array.blit row0 0 row 0 (Array.length row0);
+         let chain =
+           match row.(pc) with
+           | Some sl -> Array.append (Array.sub sl.sl_chain 0 sl.sl_len) [| tr |]
+           | None -> [| tr |]
+         in
+         row.(pc) <-
+           Some { sl_chain = chain; sl_len = Array.length chain;
+                  sl_mono = None };
+         ep_trans.(fid) <- row)
+      trs;
+    let lo, hi = Simcpu.Codecache.main_range eng.cache in
+    Obs.Vmstats.bump c_epoch_delta;
+    Atomic.set eng.published
+      { ep_seq = prev.ep_seq + 1;
+        ep_gen = prev.ep_gen;
+        ep_trans;
+        ep_huge = prev.ep_huge;
+        ep_main_lo = lo;
+        ep_main_hi = hi }
+  end
+
+(* First entry of [tr] whose guards are subsumed by the captured types —
+   the entry the requester's chain walk would have selected. *)
+let entry_for_types (tr : Translation.t) ~(locals : Hhbc.Rtype.t array)
+    ~(stack : Hhbc.Rtype.t array) : Translation.entry option =
+  let entries = tr.Translation.tr_entries in
+  let rec go j =
+    if j >= Array.length entries then None
+    else if Translation.entry_covers ~locals ~stack entries.(j) then
+      Some entries.(j)
+    else go (j + 1)
+  in
+  go 0
+
+(** Drain the translation-request queue under the write lease: compile
+    each request against the live profile/TransCFG state (which the lease
+    protects), smash the requesting bind jumps, and publish everything
+    that landed as one epoch delta.  Requests are consumed in
+    queue-sequence order, so translation ids, code-cache offsets,
+    inline-cache ids and link smashes are assigned in a canonical
+    schedule-independent order per queue history.  Caller MUST hold the
+    write lease. *)
+let drain_translation_queue (eng : t) : unit =
+  let landed = ref [] in
+  let consumed =
+    Translate_queue.drain (fun rq ->
+        let fid = rq.Translate_queue.rq_fid
+        and pc = rq.Translate_queue.rq_pc
+        and locals = rq.Translate_queue.rq_locals
+        and stack = rq.Translate_queue.rq_stack in
+        if not (no_compile eng fid pc) then begin
+          let sl = find_slot eng fid pc in
+          let chain_len = match sl with Some sl -> sl.sl_len | None -> 0 in
+          (* authoritative dedup: an earlier drain (or the requester's
+             pre-burst warmup) may already cover these types — the
+             requester just hasn't adopted the epoch that has it *)
+          let covered =
+            match sl with
+            | None -> false
+            | Some sl ->
+              let rec any i =
+                i < sl.sl_len
+                && (entry_for_types sl.sl_chain.(i) ~locals ~stack <> None
+                    || any (i + 1))
+              in
+              any 0
+          in
+          if covered then Obs.Vmstats.bump c_lazy_covered
+          else if chain_len < eng.opts.max_live_per_srckey then begin
+            let oracle (loc : Rd.loc) : Hhbc.Rtype.t =
+              match loc with
+              | Rd.LLocal l ->
+                if l < Array.length locals then locals.(l)
+                else Hhbc.Rtype.uninit
+              | Rd.LStack d ->
+                if d < Array.length stack then stack.(d)
+                else Hhbc.Rtype.uninit
+            in
+            match compile_at eng ~fid ~pc ~oracle with
+            | Some tr ->
+              Obs.Vmstats.bump c_lazy_compiled;
+              (* smash the requesting exit's bind jump under the lease:
+                 target first, then generation, so a racing reader either
+                 sees a dead link or a fully written one (and re-validates
+                 the entry's guards in any case) *)
+              (match rq.Translate_queue.rq_via with
+               | Some (src, eid) when eng.opts.dispatch_caches ->
+                 (match entry_for_types tr ~locals ~stack with
+                  | Some en ->
+                    let lk = src.Translation.tr_links.(eid) in
+                    lk.Translation.lk_target <- Some (tr, en);
+                    lk.Translation.lk_gen <- eng.generation;
+                    Obs.Vmstats.bump c_link_smashed
+                  | None -> ())
+               | _ -> ());
+              landed := tr :: !landed
+            | None -> ()
+          end
+        end)
+  in
+  let landed = List.rev !landed in
+  publish_epoch_delta eng landed;
+  if consumed > 0 && Obs.Trace.on Obs.Trace.Lease then
+    Obs.Trace.emit Obs.Trace.Lease
+      [ ("event", Obs.Trace.S "drain");
+        ("requests", Obs.Trace.I consumed);
+        ("compiled", Obs.Trace.I (List.length landed));
+        ("epoch", Obs.Trace.I (Atomic.get eng.published).ep_seq) ]
+
+(** Frozen-dispatch miss with lazy translation on: capture the frame's
+    types, enqueue a translation request, and try to win the write lease.
+    The winner drains the whole queue (its own request included) and —
+    still under the lease, while [eng.trans] is stable — looks its own
+    answer up so it can enter the fresh code immediately, exactly like
+    the single-domain lazy path; losers return [None] and interpret,
+    adopting the result via the epoch delta at a later request boundary. *)
+let lazy_translate_miss (eng : t) (frame : Vm.Interp.frame) (pc : int)
+    ~(via : (Translation.t * int) option)
+  : (Translation.t * Translation.entry) option =
+  let fid = frame.func.fn_id in
+  (* racy read of [nocompile] (rows are replaced wholesale under the
+     lease): a stale [true] skips a request that would be rejected
+     anyway, a stale [false] is re-checked at drain time *)
+  if no_compile eng fid pc then None
+  else begin
+    let locals = Array.map Hhbc.Rtype.of_value frame.locals in
+    let stack =
+      Array.init (max frame.sp 0)
+        (fun d -> Hhbc.Rtype.of_value frame.stack.(frame.sp - 1 - d))
+    in
+    let via = if eng.opts.dispatch_caches then via else None in
+    let queued = Translate_queue.enqueue ~fid ~pc ~locals ~stack ~via in
+    if queued && Translate_queue.try_acquire () then
+      Fun.protect ~finally:Translate_queue.release (fun () ->
+          drain_translation_queue eng;
+          match find_slot eng fid pc with
+          | None -> None
+          | Some sl ->
+            let found = ref None in
+            let i = ref 0 in
+            while !found = None && !i < sl.sl_len do
+              let tr = sl.sl_chain.(!i) in
+              let entries = tr.Translation.tr_entries in
+              let j = ref 0 in
+              while !found = None && !j < Array.length entries do
+                let en = entries.(!j) in
+                if entry_matches frame en then found := Some (tr, en);
+                incr j
+              done;
+              incr i
+            done;
+            if !found <> None then Obs.Vmstats.bump c_lazy_entered;
+            !found)
+    else None
+  end
+
 (** Materialize an inlined callee frame from exit metadata (§5.3.1). *)
 let materialize_inline (eng : t) (tr : Translation.t)
     (reader : Vasm.Regalloc.operand -> value) (ie : Hhir.Ir.inline_exit)
@@ -564,7 +768,15 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
           match select_entry eng sx frame pc with
           | Some e -> Some e
           | None ->
-            if frozen || eng.opts.mode = Jit_options.Interp then None
+            if frozen then begin
+              (* a serving worker missed in its frozen epoch *)
+              Obs.Vmstats.bump c_serving_miss;
+              if eng.opts.mode = Jit_options.Interp
+              || not eng.opts.lazy_translate
+              then None
+              else lazy_translate_miss eng frame pc ~via
+            end
+            else if eng.opts.mode = Jit_options.Interp then None
             else begin
               (* lazy compilation; limit chain growth per srckey *)
               let chain_len =
@@ -600,6 +812,7 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
     in
     match entry with
     | None ->
+      if frozen then Obs.Vmstats.bump c_serving_fallback;
       if first then Vm.Interp.NoTranslation else Vm.Interp.Resumed pc
     | Some (tr, en) ->
       let rb = en.Translation.en_block and idx = en.Translation.en_idx in
@@ -776,7 +989,7 @@ let publish_epoch (eng : t) : unit =
     phase then places every prepared translation serially in C3 function
     order, so code-cache offsets, translation ids, inline-cache ids, links
     and trace output are identical for any worker count. *)
-let retranslate_all (eng : t) : int =
+let retranslate_all_locked (eng : t) : int =
   let t0 = Unix.gettimeofday () in
   Obs.Vmstats.bump c_retranslate;
   (* fold profile deltas flushed by serving workers into the canonical
@@ -890,6 +1103,17 @@ let retranslate_all (eng : t) : int =
   publish_epoch eng;
   !count
 
+(** Retranslate-all takes the write lease for its whole run: it rewrites
+    the translation tables, id allocators and code cache that in-burst
+    lazy translation mutates under the same lease, so a retranslate fired
+    mid-burst serializes against any drain in progress (and lease holders
+    observe a consistent generation).  Outside a burst the lease is
+    always free and this is one uncontended CAS. *)
+let retranslate_all (eng : t) : int =
+  Translate_queue.acquire ();
+  Fun.protect ~finally:Translate_queue.release
+    (fun () -> retranslate_all_locked eng)
+
 (* ------------------------------------------------------------------ *)
 (* Call dispatch and installation                                      *)
 (* ------------------------------------------------------------------ *)
@@ -935,6 +1159,7 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
      engine: sequential runs (bench determinism sweeps) produce identical
      tc-print reports and trace streams *)
   Translation.reset_ids ();
+  Translate_queue.reset ~capacity:Translate_queue.default_capacity ();
   Region.Select.next_block_id := 0;
   Region.Transcfg.reset ();
   Vm.Prof.reset ();
@@ -988,8 +1213,14 @@ let begin_request (eng : t) : unit =
   | Some ctx ->
     let ep = Atomic.get eng.published in
     if ep.ep_seq <> ctx.sx_epoch.ep_seq then begin
+      (* adopting an epoch delta (same generation) keeps the mono table:
+         its cached entries are still current-generation translations
+         whose guards are re-validated on every hit, and lookups bound
+         themselves by the table's own dimensions.  Only a generation
+         change (retranslate-all) invalidates the cached entries. *)
+      let keep_mono = ep.ep_gen = ctx.sx_epoch.ep_gen in
       ctx.sx_epoch <- ep;
-      ctx.sx_mono <- fresh_mono ep;
+      if not keep_mono then ctx.sx_mono <- fresh_mono ep;
       apply_epoch_itlb ctx
     end
 
@@ -1018,6 +1249,11 @@ let merge_machine (eng : t) (w : Exec.machine) : unit =
   mt.Simcpu.Itlb.misses <- mt.Simcpu.Itlb.misses + wt.Simcpu.Itlb.misses
 
 let code_bytes (eng : t) : int = Simcpu.Codecache.bytes_used eng.cache
+
+(** Retranslation-chain length at a srckey (test observability: the lease
+    contention test asserts racing misses produced exactly one entry). *)
+let chain_length (eng : t) ~(fid : int) ~(pc : int) : int =
+  match find_slot eng fid pc with Some sl -> sl.sl_len | None -> 0
 
 (** Sample the engine's level-style metrics into vmstats gauges.  These are
     cheap to read on demand but would be expensive to maintain per event,

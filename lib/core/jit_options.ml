@@ -61,6 +61,14 @@ type t = {
      precedence rules as [jit_workers]).  Per-request outputs and the
      aggregate output hash are identical for any value. *)
   mutable request_workers : int;
+  (* lazy in-burst translation (§4): serving workers that miss in their
+     frozen epoch enqueue a translation request; a write-lease holder
+     compiles it and publishes an incremental epoch delta, so the
+     translation cache keeps growing during a multi-domain burst instead
+     of falling back to the interpreter until the next retranslate-all.
+     Outputs stay bit-identical for any worker count ([LAZY_TRANSLATE=0]
+     turns it off, restoring the PR 4 frozen-miss-interprets behavior). *)
+  mutable lazy_translate : bool;
 }
 
 let default () : t = {
@@ -89,6 +97,7 @@ let default () : t = {
   max_inline_instrs = 40;
   jit_workers = 0;
   request_workers = 0;
+  lazy_translate = true;
 }
 
 (** The single config-resolution step for environment knobs, run once at
@@ -119,7 +128,10 @@ let resolve_env (t : t) : unit =
       | Some n -> t.request_workers <- max 1 n
       | None -> ())
    | _ -> ());
-  if t.request_workers <= 0 then t.request_workers <- 1
+  if t.request_workers <= 0 then t.request_workers <- 1;
+  (match Sys.getenv_opt "LAZY_TRANSLATE" with
+   | Some ("0" | "false" | "off") -> t.lazy_translate <- false
+   | _ -> ())
 
 (** Disable every profile-guided optimization except region formation and
     partial inlining — the paper's "All PGO" experiment (§6.3). *)

@@ -1,0 +1,170 @@
+(** The translation-request queue and write lease for lazy in-burst
+    compilation (paper §4).
+
+    HHVM request threads that miss in the translation cache acquire a
+    global {e write lease} before translating: one thread compiles while
+    the others keep executing, so the shared code cache has one writer
+    and many readers.  This module is the concurrent-OCaml analogue for
+    parallel request serving: a serve worker that misses in its frozen
+    epoch enqueues a translation request (srckey + the live types the
+    region selector would have observed) into a bounded atomic queue;
+    whoever holds the lease — the dedicated drainer domain or the first
+    worker to win the compare-and-swap — drains it in queue-sequence
+    order and compiles against the engine state the lease protects.
+
+    Determinism: slot indices are claimed with one [fetch_and_add], so
+    every request has a unique queue sequence number; the lease holder
+    drains in that order, and the lease itself serializes every publish.
+    Translation ids, code-cache offsets and link smashes are therefore
+    assigned in a canonical order per queue history, independent of which
+    domain held the lease when.  (Per-request outputs never depend on
+    dispatch order at all — endpoints are pure — so the serving output
+    hash is identical whether a request enters compiled code or
+    interprets.)
+
+    The queue is bounded: a burst can request at most [capacity] distinct
+    compilations, which also bounds how much code lazy translation can
+    add against the code-size cap.  Claims past the bound are counted as
+    overflow and the requester simply interprets. *)
+
+type request = {
+  rq_seq : int;                 (** queue sequence number: canonical order *)
+  rq_fid : int;
+  rq_pc : int;
+  (** Most-precise types of the requester's locals and evaluation stack
+      (stack indexed by depth: element [d] types [sp - 1 - d]), standing
+      in for the live frame the main domain's region oracle reads. *)
+  rq_locals : Hhbc.Rtype.t array;
+  rq_stack : Hhbc.Rtype.t array;
+  (** The (translation, exit id) the requester chained out of, if any:
+      the lease holder smashes this bind jump when the compile lands. *)
+  rq_via : (Translation.t * int) option;
+}
+
+let c_enqueued = Obs.Vmstats.counter "lazy_translate.enqueued"
+let c_dedup = Obs.Vmstats.counter "lazy_translate.dedup"
+let c_overflow = Obs.Vmstats.counter "lazy_translate.queue_overflow"
+let c_acquire = Obs.Vmstats.counter "lease.acquire"
+let c_contended = Obs.Vmstats.counter "lease.contended"
+
+let default_capacity = 256
+
+(* Slot-per-request ring: [tail] claims an index, the claimant publishes
+   the request into its slot, and the lease holder consumes slots
+   [drained, min tail capacity).  Slots are written once per burst. *)
+let slots : request option Atomic.t array ref =
+  ref (Array.init default_capacity (fun _ -> Atomic.make None))
+
+let tail = Atomic.make 0
+let drained = Atomic.make 0
+
+let capacity () = Array.length !slots
+
+(** Reset the queue for a new burst.  Quiescent points only (engine
+    install / burst start, before any worker domain runs).  The ring
+    size is preserved unless [capacity] is given: engine install passes
+    [default_capacity]; tests shrink the ring to force overflow, and the
+    burst-start reset keeps their choice. *)
+let reset ?capacity () =
+  let cap =
+    match capacity with Some c -> c | None -> Array.length !slots
+  in
+  slots := Array.init cap (fun _ -> Atomic.make None);
+  Atomic.set tail 0;
+  Atomic.set drained 0
+
+let has_pending () =
+  Atomic.get drained < min (Atomic.get tail) (capacity ())
+
+(* --- the write lease --- *)
+
+let lease = Atomic.make false
+
+(** One CAS attempt at the write lease; serving workers poll this on a
+    miss and interpret when it fails. *)
+let try_acquire () : bool =
+  let won = Atomic.compare_and_set lease false true in
+  if won then Obs.Vmstats.bump c_acquire else Obs.Vmstats.bump c_contended;
+  won
+
+(** Blocking acquire: retranslate-all must win the lease (it rewrites the
+    tables the lease protects), waiting out at most one drain. *)
+let acquire () =
+  while not (Atomic.compare_and_set lease false true) do
+    Domain.cpu_relax ()
+  done;
+  Obs.Vmstats.bump c_acquire
+
+let release () = Atomic.set lease false
+
+(* --- enqueue / drain --- *)
+
+let same_types (a : Hhbc.Rtype.t array) (b : Hhbc.Rtype.t array) : bool =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i t -> if not (Hhbc.Rtype.equal t b.(i)) then ok := false) a;
+      !ok)
+
+(* Already queued this burst?  Advisory — two racing enqueuers can both
+   miss a duplicate in flight; the lease holder re-checks the translation
+   chain before compiling, which is the authoritative dedup. *)
+let queued ~(fid : int) ~(pc : int) ~(locals : Hhbc.Rtype.t array)
+    ~(stack : Hhbc.Rtype.t array) : bool =
+  let n = min (Atomic.get tail) (capacity ()) in
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < n do
+    (match Atomic.get !slots.(!i) with
+     | Some rq ->
+       if rq.rq_fid = fid && rq.rq_pc = pc
+          && same_types rq.rq_locals locals
+          && same_types rq.rq_stack stack
+       then found := true
+     | None -> ());
+    incr i
+  done;
+  !found
+
+(** Enqueue a translation request.  Returns [false] on overflow (the ring
+    is full for this burst: interpret and move on); duplicate in-flight
+    requests for the same srckey and types are dropped. *)
+let enqueue ~(fid : int) ~(pc : int) ~(locals : Hhbc.Rtype.t array)
+    ~(stack : Hhbc.Rtype.t array)
+    ~(via : (Translation.t * int) option) : bool =
+  if queued ~fid ~pc ~locals ~stack then begin
+    Obs.Vmstats.bump c_dedup;
+    true
+  end else begin
+    let i = Atomic.fetch_and_add tail 1 in
+    if i >= capacity () then begin
+      Obs.Vmstats.bump c_overflow;
+      false
+    end else begin
+      Atomic.set !slots.(i)
+        (Some { rq_seq = i; rq_fid = fid; rq_pc = pc;
+                rq_locals = locals; rq_stack = stack; rq_via = via });
+      Obs.Vmstats.bump c_enqueued;
+      true
+    end
+  end
+
+(** Consume every published request in queue-sequence order.  Lease
+    holder only.  Returns the number of requests consumed; requests
+    claimed after the drain snapshot are left for the next holder. *)
+let drain (f : request -> unit) : int =
+  let consumed = ref 0 in
+  let t = min (Atomic.get tail) (capacity ()) in
+  let h = ref (Atomic.get drained) in
+  while !h < t do
+    match Atomic.get !slots.(!h) with
+    | Some rq ->
+      f rq;
+      incr h;
+      incr consumed;
+      Atomic.set drained !h
+    | None ->
+      (* index claimed but the request not yet published: the claimant
+         is mid-store, wait it out *)
+      Domain.cpu_relax ()
+  done;
+  !consumed

@@ -49,6 +49,25 @@ and link = {
   mutable lk_target : (t * entry) option;
 }
 
+(** Type-level entry check for lazy-translation dedup: would this entry's
+    guards pass for a frame whose locals and stack have these
+    (most-precise) types?  [stack] is indexed by depth, element [d]
+    typing stack slot [sp - 1 - d] — the shape a translation request
+    captures.  Mirrors the engine's [guard_matches] against live values:
+    a guard on a location past the captured stack fails there too. *)
+let entry_covers ~(locals : Hhbc.Rtype.t array)
+    ~(stack : Hhbc.Rtype.t array) (en : entry) : bool =
+  Array.for_all
+    (fun (g : Region.Rdesc.guard) ->
+       match g.Region.Rdesc.g_loc with
+       | Region.Rdesc.LLocal l ->
+         l < Array.length locals
+         && Hhbc.Rtype.subtype locals.(l) g.Region.Rdesc.g_type
+       | Region.Rdesc.LStack d ->
+         d < Array.length stack
+         && Hhbc.Rtype.subtype stack.(d) g.Region.Rdesc.g_type)
+    en.en_guards
+
 let next_id = ref 0
 
 (* global inline-cache id allocator.  Lowering numbers CallMethodCached

@@ -17,8 +17,9 @@ type category =
   | Link             (** a ReqBind exit was smashed / invalidated; arcs *)
   | Exit             (** compiled code left through an exit *)
   | Guard            (** an entry's guard validation failed *)
+  | Lease            (** write-lease activity: lazy in-burst drains *)
 
-let all_categories = [ Translate; Retranslate; Link; Exit; Guard ]
+let all_categories = [ Translate; Retranslate; Link; Exit; Guard; Lease ]
 
 let category_name = function
   | Translate -> "translate"
@@ -26,6 +27,7 @@ let category_name = function
   | Link -> "link"
   | Exit -> "exit"
   | Guard -> "guard"
+  | Lease -> "lease"
 
 let category_of_name (s : string) : category option =
   match String.lowercase_ascii (String.trim s) with
@@ -34,12 +36,14 @@ let category_of_name (s : string) : category option =
   | "link" -> Some Link
   | "exit" -> Some Exit
   | "guard" -> Some Guard
+  | "lease" -> Some Lease
   | _ -> None
 
 let idx = function
   | Translate -> 0 | Retranslate -> 1 | Link -> 2 | Exit -> 3 | Guard -> 4
+  | Lease -> 5
 
-let enabled_ = Array.make 5 false
+let enabled_ = Array.make 6 false
 
 (** Is this category live?  Probes check this before building any fields. *)
 let on (c : category) : bool = enabled_.(idx c)

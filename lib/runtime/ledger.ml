@@ -35,6 +35,15 @@ let charge_interp n =
   a.a_cycles <- a.a_cycles + n;
   a.a_interp <- a.a_interp + n
 
+(** Charge interpreter cycles through a pre-fetched account: hot loops
+    (the bytecode dispatch loop) resolve the domain-local account once
+    per activation instead of paying the DLS read per instruction.  The
+    account is per-domain and an activation never migrates domains, so
+    holding it across the loop is safe. *)
+let charge_interp_on (a : acct) (n : int) =
+  a.a_cycles <- a.a_cycles + n;
+  a.a_interp <- a.a_interp + n
+
 let charge_jit n =
   let a = acct () in
   a.a_cycles <- a.a_cycles + n;

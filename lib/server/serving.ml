@@ -113,8 +113,12 @@ let run ?workers ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
   else begin
     (* Frozen fan-out.  Publish the current tables as an epoch, freeze
        string interning (workers may intern novel constants), and shard
-       every per-domain counter family for the duration of the burst. *)
+       every per-domain counter family for the duration of the burst.
+       The translation-request queue restarts empty: lazy in-burst
+       translation is scoped per burst (this is the quiescent point the
+       queue's reset contract requires). *)
     Core.Engine.publish_epoch eng;
+    Core.Translate_queue.reset ();
     Hhbc.Hunit.freeze_interning true;
     Obs.Vmstats.shards_begin ();
     let next = Atomic.make 0 in
@@ -144,9 +148,41 @@ let run ?workers ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
         wr_ledger = Runtime.Ledger.acct ();
         wr_instrs = Vm.Interp.instr_count () }
     in
+    (* Optional dedicated drainer domain (ISSUE: "a dedicated jit worker
+       domain or the first serve worker to win a CAS write lease" — both
+       run; the lease arbitrates).  Only spawned when the configuration
+       asks for background JIT parallelism, since on fewer cores the
+       serve workers' own opportunistic drains already keep up.  Compile
+       cycles it charges land on its own ledger account — background
+       compilation, off every request's measured cost, like HHVM's JIT
+       worker threads. *)
+    let stop_drainer = Atomic.make false in
+    let drainer =
+      if eng.Core.Engine.opts.Core.Jit_options.jit_workers >= 2
+      && eng.Core.Engine.opts.Core.Jit_options.lazy_translate then
+        Some
+          (Domain.spawn (fun () ->
+               let shard = Obs.Vmstats.shard_create () in
+               Obs.Vmstats.shard_install (Some shard);
+               Core.Jit_worker.drain_loop ~stop:stop_drainer
+                 ~drain:(fun () -> Core.Engine.drain_translation_queue eng);
+               Obs.Vmstats.shard_install None;
+               { wr_shard = shard;
+                 wr_machine = None;
+                 wr_heap = Runtime.Heap.stats ();
+                 wr_ledger = Runtime.Ledger.acct ();
+                 wr_instrs = Vm.Interp.instr_count () }))
+      else None
+    in
     let reports =
       Array.map Domain.join
         (Array.init workers (fun _ -> Domain.spawn worker))
+    in
+    Atomic.set stop_drainer true;
+    let reports =
+      match drainer with
+      | Some d -> Array.append reports [| Domain.join d |]
+      | None -> reports
     in
     Obs.Vmstats.shards_end ();
     Hhbc.Hunit.freeze_interning false;

@@ -354,16 +354,25 @@ let find_handler (fr : frame) (pc : int) (exn_v : value) : ex_entry option =
 let rec run (fr : frame) (start_pc : int) : value =
   let code = fr.func.fn_body in
   let icount = Domain.DLS.get instr_count_key in
+  (* Per-activation hoists of the per-instruction probe plumbing: the
+     ledger account is a DLS read, the opcode counter table a Lazy.force
+     and the vmstats switch a flag read — all invariant across an
+     activation (accounts are per-domain, activations never migrate
+     domains, and stats enablement is fixed at engine install), so
+     resolve them once here instead of on every dispatch. *)
+  let acct = Runtime.Ledger.acct () in
+  let stats_on = Obs.Vmstats.on () in
+  let ops = if stats_on then Lazy.force op_counters else [||] in
   let pc = ref start_pc in
   let ret : value option ref = ref None in
   while Option.is_none !ret do
     let this_pc = !pc in
     try
       let i = code.(this_pc) in
-      charge (Cost.instr_cost i);
+      Runtime.Ledger.charge_interp_on acct (Cost.instr_cost i);
       incr icount;
-      if Obs.Vmstats.on () then
-        Obs.Vmstats.bump (Lazy.force op_counters).(Hhbc.Instr.opcode_id i);
+      if stats_on then
+        Obs.Vmstats.bump ops.(Hhbc.Instr.opcode_id i);
       (* default: fall through *)
       pc := this_pc + 1;
       (match i with

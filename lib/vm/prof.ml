@@ -74,7 +74,13 @@ let uninstall_local () = Domain.DLS.set write_key main_ctx
 
 (* --- counters --- *)
 
-let n_counters = ref 0
+(* Counter ids were historically allocated from the main domain only
+   (profiling compiles never ran on serving workers).  Lazy in-burst
+   translation moved profiling compiles under the write lease, which can
+   be held by any serving domain — the lease serializes allocations, but
+   an atomic id source keeps the allocator safe on its own terms rather
+   than by protocol. *)
+let n_counters = Atomic.make 0
 
 let ensure_counter (c : ctx) (id : int) =
   if id >= Array.length c.px_counters then begin
@@ -86,8 +92,7 @@ let ensure_counter (c : ctx) (id : int) =
   end
 
 let new_counter () : counter_id =
-  let id = !n_counters in
-  incr n_counters;
+  let id = Atomic.fetch_and_add n_counters 1 in
   ensure_counter main_ctx id;
   id
 
@@ -274,5 +279,5 @@ let reset () =
   clear_ctx main_ctx;
   main_ctx.px_counters <- Array.make 1024 0;
   main_ctx.px_func_entries <- Array.make 256 0;
-  n_counters := 0;
+  Atomic.set n_counters 0;
   locked (fun () -> clear_ctx pending)

@@ -11,7 +11,11 @@
 #      env path through a multi-domain perflab serving burst, and the
 #      combined JIT_WORKERS=4 REQUEST_WORKERS=4 `bench/main.exe serving`
 #      sweep exits nonzero when per-request outputs diverge across any
-#      (jit x request) worker configuration.
+#      (jit x request) worker configuration,
+#   5. lazy-translation smoke: LAZY_TRANSLATE=1 forces the write-leased
+#      in-burst translation path through the same 4x4 sweep (nonzero on
+#      hash divergence), and the bench JSON's `serving` section must
+#      carry the per-burst miss/fallback counters.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,5 +38,18 @@ REQUEST_WORKERS=4 dune exec bin/hhvm_run.exe -- --perflab
 
 echo "== combined compile x serving sweep (4x4) =="
 JIT_WORKERS=4 REQUEST_WORKERS=4 dune exec bench/main.exe -- serving
+
+echo "== lazy in-burst translation smoke (4x4, lease + epoch deltas) =="
+LAZY_TRANSLATE=1 JIT_WORKERS=4 REQUEST_WORKERS=4 \
+  dune exec bench/main.exe -- serving
+
+echo "== bench JSON serving counters =="
+dune exec bench/main.exe -- json
+for key in translation_miss interp_fallback; do
+  if ! grep -q "\"$key\"" BENCH_hotpath.json; then
+    echo "ERROR: BENCH_hotpath.json serving section lacks \"$key\""
+    exit 1
+  fi
+done
 
 echo "CI OK"

@@ -121,7 +121,7 @@ let test_json_shape () =
 let test_trace_spec () =
   let names cs = List.map Obs.Trace.category_name cs in
   Alcotest.(check (list string)) "all"
-    [ "translate"; "retranslate-all"; "link"; "exit"; "guard" ]
+    [ "translate"; "retranslate-all"; "link"; "exit"; "guard"; "lease" ]
     (names (Obs.Trace.parse_spec "all"));
   Alcotest.(check (list string)) "legacy JIT_TRACE=1"
     (names Obs.Trace.all_categories) (names (Obs.Trace.parse_spec "1"));

@@ -302,6 +302,91 @@ let test_serving_heap_clean () =
   Alcotest.(check bool) "workers' allocations were absorbed" true
     (hs.Runtime.Heap.allocated > live_before)
 
+(* ---- Lazy in-burst translation (write lease + incremental publish) ---- *)
+
+(* Cold Region-mode engine: no warmup, so every endpoint's entry srckey
+   misses on first touch inside the burst itself. *)
+let cold_engine () : Hhbc.Hunit.t * Core.Engine.t =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.mode <- Core.Jit_options.Region;
+  (u, Core.Engine.install ~opts u)
+
+let test_lazy_lease_contention () =
+  (* identical requests against a cold engine: several workers miss the
+     same entry srckey at once; the lease plus drain-time dedup must land
+     exactly one translation for it no matter who raced *)
+  let u, eng = cold_engine () in
+  let ep = List.hd Workloads.Endpoints.endpoints in
+  let requests =
+    Array.make 16 { Server.Serving.rq_ep = ep; rq_arg = 42 }
+  in
+  let r4 = Server.Serving.run ~workers:4 u eng requests in
+  (* read before the next install resets the counters *)
+  let lazy_compiled =
+    Obs.Vmstats.counter_value "lazy_translate.compiled"
+  in
+  let u1, eng1 = cold_engine () in
+  let r1 = Server.Serving.run ~workers:1 u1 eng1 requests in
+  check_serving_equal "contended cold burst @ 4 workers" r1 r4;
+  let fid =
+    match Hhbc.Hunit.find_func u ep.ep_entry with
+    | Some fid -> fid
+    | None -> Alcotest.fail ("no such function: " ^ ep.ep_entry)
+  in
+  Alcotest.(check int) "exactly one translation at the contended srckey"
+    1 (Core.Engine.chain_length eng ~fid ~pc:0);
+  Alcotest.(check bool) "lazy compiles landed" true (lazy_compiled > 0)
+
+let test_serving_lazy_determinism () =
+  (* incremental epoch publish under churn: hash parity across worker
+     counts with lazy translation on (the default), including a full
+     retranslate-all fired mid-burst over the delta-published epochs *)
+  let n = Array.length (Server.Serving.mix ~rounds:6 ()) in
+  let r1 = serving_run ~trigger_at:(n / 3) 1 in
+  List.iter
+    (fun w ->
+       check_serving_equal
+         (Printf.sprintf
+            "lazy serving + mid-burst retranslate @ %d workers" w)
+         r1
+         (serving_run ~trigger_at:(n / 3) w))
+    [ 2; 4 ];
+  Alcotest.(check bool) "incremental epoch publishes happened" true
+    (Obs.Vmstats.counter_value "epoch.delta_publish" > 0)
+
+let test_lazy_queue_overflow () =
+  (* a one-slot ring overflows on the second distinct in-burst miss: the
+     requesters must fall back to the interpreter with no divergence
+     (the burst-start queue reset preserves the shrunken capacity) *)
+  let requests = Server.Serving.mix ~rounds:6 () in
+  let n = Array.length requests in
+  let r1 = serving_run ~trigger_at:(n / 3) 1 in
+  let u, eng = serving_engine () in
+  Core.Translate_queue.reset ~capacity:1 ();
+  let trigger =
+    (n / 3, fun () -> ignore (Core.Engine.retranslate_all eng))
+  in
+  let r = Server.Serving.run ~workers:4 ~trigger u eng requests in
+  check_serving_equal "queue-overflow serving @ 4 workers" r1 r;
+  Alcotest.(check bool) "queue overflowed" true
+    (Obs.Vmstats.counter_value "lazy_translate.queue_overflow" > 0);
+  (* ... and at the code-size cap: the budget exhausts during warmup, the
+     tiny ring overflows on whatever still enqueues, and every requester
+     interprets — output identical to the pure interpreter *)
+  let budget = 2000 in
+  let r1b = serving_run ~budget 1 in
+  let ub, engb = serving_engine ~budget () in
+  Core.Translate_queue.reset ~capacity:1 ();
+  let rb = Server.Serving.run ~workers:4 ub engb requests in
+  Core.Translate_queue.reset
+    ~capacity:Core.Translate_queue.default_capacity ();
+  check_serving_equal "overflow at code cap @ 4 workers" r1b rb;
+  let ri = serving_run ~mode:Core.Jit_options.Interp 1 in
+  check_serving_equal "overflow at code cap vs interpreter" ri rb
+
 (* ---- Codecache: reset_optimized accounting ---- *)
 
 let test_codecache_reset_accounting () =
@@ -350,5 +435,11 @@ let suite =
         test_serving_prof_exact;
       Alcotest.test_case "serving: heap clean after parallel burst" `Quick
         test_serving_heap_clean;
+      Alcotest.test_case "lazy: lease contention, one translation" `Quick
+        test_lazy_lease_contention;
+      Alcotest.test_case "lazy: incremental publish determinism {1,2,4}"
+        `Quick test_serving_lazy_determinism;
+      Alcotest.test_case "lazy: queue overflow falls back to interp" `Quick
+        test_lazy_queue_overflow;
       Alcotest.test_case "codecache reset_optimized accounting" `Quick
         test_codecache_reset_accounting ] )
