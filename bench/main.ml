@@ -488,6 +488,39 @@ let print_serving (samples : serving_sample list) (deterministic : bool) =
     exit 1
   end
 
+(** The deterministic serving report behind the json target: fresh
+    engine, standard warmup and retranslate-all (steady state), then
+    [Serving.measure] over the mix with a second retranslate-all fired
+    at the halfway point — so the report covers epoch adoption and the
+    retranslate-pause phase too.  Lazy in-burst translation is on so the
+    miss-enqueue and lease-wait phases have traffic.  The measured burst
+    is single-domain and slot-ordered, so the emitted JSON is
+    byte-identical on any host and any worker configuration. *)
+let measure_serving_report () : string =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.lazy_translate <- true;
+  let eng = Core.Engine.install ~opts u in
+  for round = 0 to 14 do
+    List.iter
+      (fun (ep : Workloads.Endpoints.endpoint) ->
+         let reps = max 1 (ep.Workloads.Endpoints.ep_weight / 10) in
+         for k = 0 to reps - 1 do
+           ignore (Server.Perflab.call_endpoint u ep (round * 3 + k))
+         done)
+      Workloads.Endpoints.endpoints
+  done;
+  ignore (Core.Engine.retranslate_all eng);
+  let requests = Server.Serving.mix ~rounds:30 () in
+  let trigger =
+    (Array.length requests / 2,
+     fun () -> ignore (Core.Engine.retranslate_all eng))
+  in
+  let m = Server.Serving.measure ~trigger u eng requests in
+  Server.Serving.report_json requests m
+
 let serving () =
   hdr "Parallel request serving: throughput by request-worker count"
     "(HHVM serves each request on its own thread over one shared \
@@ -536,6 +569,8 @@ let json () =
   let pause_speedup = if pause4 > 0.0 then pause1 /. pause4 else 0.0 in
   (* parallel request serving: throughput sweep + determinism check *)
   let serving_samples, serving_deterministic = serving_sweep ~reps in
+  (* the deterministic serving report (spans + percentiles + profile) *)
+  let serving_report = measure_serving_report () in
   let micro = micro_results () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
@@ -579,7 +614,9 @@ let json () =
           serving_samples));
   Buffer.add_string current
     (Printf.sprintf ",\n    \"deterministic\": %b\n" serving_deterministic);
-  Buffer.add_string current "  },\n  \"vmstats\": ";
+  Buffer.add_string current "  },\n  \"serving_report\": ";
+  Buffer.add_string current serving_report;
+  Buffer.add_string current ",\n  \"vmstats\": ";
   Buffer.add_string current vmstats_json;
   Buffer.add_string current
     (Printf.sprintf ",\n  \"vmstats_overhead_pct\": %.2f,\n" overhead_pct);
@@ -627,6 +664,8 @@ let json () =
     serving_samples;
   Printf.printf "serving deterministic across worker configurations: %b\n"
     serving_deterministic;
+  Printf.printf "serving report: %d bytes of JSON embedded\n"
+    (String.length serving_report);
   Printf.printf "differential hash match: %b\n" hash_match;
   if not hash_match then begin
     prerr_endline "ERROR: output hash mismatch across execution modes";

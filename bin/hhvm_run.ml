@@ -46,12 +46,23 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
+let tc_sort_conv =
+  let parse = function
+    | "execs" -> Ok Core.Tc_print.By_execs
+    | "cycles" -> Ok Core.Tc_print.By_cycles
+    | s -> Error (`Msg (Printf.sprintf "unknown tc-print sort %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Core.Tc_print.sort_mode_name m)
+  in
+  Arg.conv (parse, print)
+
 (** Post-run telemetry reports: tc-print ranking, vmstats dump, trace
     flush.  Gauges are synced from the engine just before dumping. *)
 let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
-    ~(tc_print : int option) : unit =
+    ~(tc_print : int option) ~(tc_sort : Core.Tc_print.sort_mode) : unit =
   (match tc_print with
-   | Some n -> print_string (Core.Tc_print.report ~top:n engine)
+   | Some n -> print_string (Core.Tc_print.report ~top:n ~sort:tc_sort engine)
    | None -> ());
   (match vmstats with
    | Some fmt ->
@@ -59,11 +70,13 @@ let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
      if fmt = "json" then print_endline (Obs.Vmstats.to_json ())
      else print_string (Obs.Vmstats.dump_text ())
    | None -> ());
-  Obs.Trace.close ()
+  Obs.Trace.close ();
+  Obs.Snapshot.close ()
 
 let run file mode entry dump_bc dump_regions stats no_rce no_inlining
-    no_relax no_dispatch repeat vmstats tc_print trace trace_out no_stats
-    perflab jit_workers request_workers =
+    no_relax no_dispatch repeat vmstats tc_print tc_sort trace trace_out
+    no_stats perflab jit_workers request_workers spans serving_report
+    profile_folded snapshot_out snapshot_interval =
   let opts = Core.Jit_options.default () in
   opts.mode <- mode;
   if jit_workers > 0 then opts.jit_workers <- jit_workers;
@@ -78,6 +91,9 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
   if no_stats then opts.stats <- false;
   opts.trace <- trace;
   opts.trace_out <- trace_out;
+  if spans then opts.spans <- true;
+  if snapshot_out <> None then opts.snapshot_out <- snapshot_out;
+  if snapshot_interval > 0 then opts.snapshot_interval <- snapshot_interval;
   if perflab then begin
     (* replay the Perflab endpoint mix instead of a source file: the
        standard workload for inspecting steady-state JIT telemetry *)
@@ -92,6 +108,9 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
     o.trace_out <- opts.trace_out;
     o.jit_workers <- opts.jit_workers;
     o.request_workers <- opts.request_workers;
+    o.spans <- opts.spans;
+    o.snapshot_out <- opts.snapshot_out;
+    o.snapshot_interval <- opts.snapshot_interval;
     let r = Server.Perflab.measure cfg in
     Printf.printf "perflab[%s]: %.1f +- %.1f cycles/request, %d code bytes\n"
       (match mode with
@@ -105,6 +124,39 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
        with a multi-domain serving burst over the now-warm engine and
        report throughput (the engine resolved REQUEST_WORKERS at install) *)
     let eng = r.Server.Perflab.r_engine in
+    (* the deterministic serving report must run BEFORE any parallel
+       burst: a parallel burst leaves schedule-dependent engine state
+       (which translations were lazily compiled, cache history), and the
+       report's byte-stability contract starts from deterministic state *)
+    if serving_report <> None || profile_folded <> None then begin
+      let u = eng.Core.Engine.hunit in
+      let requests = Server.Serving.mix ~rounds:10 () in
+      let trigger =
+        (Array.length requests / 2,
+         fun () -> ignore (Core.Engine.retranslate_all eng))
+      in
+      let m = Server.Serving.measure ~trigger u eng requests in
+      (match serving_report with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Server.Serving.report_json requests m);
+         output_char oc '\n';
+         close_out oc;
+         Printf.printf "serving report: wrote %s (%d requests, %d cycles)\n"
+           path (Array.length requests)
+           m.Server.Serving.me_profile_total
+       | None -> ());
+      (match profile_folded with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Obs.Profiler.folded ());
+         close_out oc;
+         Printf.printf
+           "profile: wrote %d folded stacks to %s (%d attributed cycles)\n"
+           (List.length m.Server.Serving.me_profile) path
+           m.Server.Serving.me_profile_total
+       | None -> ())
+    end;
     let rw = eng.Core.Engine.opts.Core.Jit_options.request_workers in
     if rw > 1 then begin
       let u = eng.Core.Engine.hunit in
@@ -116,9 +168,27 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
         sr.Server.Serving.sv_workers
         (Array.length requests) sr.Server.Serving.sv_wall_s
         (float_of_int (Array.length requests) /. sr.Server.Serving.sv_wall_s)
-        sr.Server.Serving.sv_output_hash
+        sr.Server.Serving.sv_output_hash;
+      if opts.spans then begin
+        let spans = sr.Server.Serving.sv_spans in
+        Printf.printf "spans: %d request timelines recorded\n"
+          (Array.length spans);
+        List.iter
+          (fun ph ->
+             let i = Obs.Span.phase_index ph in
+             let cnt =
+               Array.fold_left
+                 (fun a sp -> a + sp.Obs.Span.sp_counts.(i)) 0 spans
+             and cyc =
+               Array.fold_left
+                 (fun a sp -> a + sp.Obs.Span.sp_cycles.(i)) 0 spans
+             in
+             Printf.printf "  %-17s count %-8d cycles %d\n"
+               (Obs.Span.phase_name ph) cnt cyc)
+          Obs.Span.phases
+      end
     end;
-    report_telemetry r.Server.Perflab.r_engine ~vmstats ~tc_print
+    report_telemetry r.Server.Perflab.r_engine ~vmstats ~tc_print ~tc_sort
   end else begin
     let file =
       match file with
@@ -193,7 +263,7 @@ let run file mode entry dump_bc dump_regions stats no_rce no_inlining
       if leaks <> [] then
         Printf.printf "LEAKS: %s\n" (String.concat ", " leaks)
     end;
-    report_telemetry engine ~vmstats ~tc_print
+    report_telemetry engine ~vmstats ~tc_print ~tc_sort
   end
 
 let cmd =
@@ -251,6 +321,13 @@ let cmd =
            ~doc:"Print the top-N translations by execution count, with \
                  guard chains and link targets")
   in
+  let tc_sort =
+    Arg.(value & opt tc_sort_conv Core.Tc_print.By_execs
+         & info [ "tc-print-sort" ] ~docv:"KEY"
+           ~doc:"Ranking key for $(b,--tc-print): execs (default) or \
+                 cycles.  Both orders are total (final tie on translation \
+                 id), so reports are byte-stable across runs")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"CATS"
@@ -288,11 +365,54 @@ let cmd =
                  output hash are identical for any N; also REQUEST_WORKERS; \
                  default 1 (serve on the calling domain)")
   in
+  let spans =
+    Arg.(value & flag
+         & info [ "spans" ]
+           ~doc:"Record a per-request span timeline (epoch adoption, JIT \
+                 vs interp cycles, miss enqueues, lease waits, retranslate \
+                 pauses) during serving bursts, plus the cycle-attribution \
+                 profiler.  Off by default (also SPANS=1); overhead is \
+                 bounded at a few percent because phase cycles come from \
+                 ledger deltas at request boundaries, not per-instruction \
+                 probes")
+  in
+  let serving_report =
+    Arg.(value & opt (some string) None
+         & info [ "serving-report" ] ~docv:"FILE"
+           ~doc:"With $(b,--perflab): run the deterministic measured \
+                 serving burst (spans and profiler forced on, mid-burst \
+                 retranslate-all) and write the JSON latency report — \
+                 p50/p95/p99/max weighted cycles per request, per-phase \
+                 breakdown, per-endpoint percentiles.  Byte-identical for \
+                 any --jit-workers x --request-workers configuration")
+  in
+  let profile_folded =
+    Arg.(value & opt (some string) None
+         & info [ "profile-folded" ] ~docv:"FILE"
+           ~doc:"With $(b,--perflab): write the measured burst's cycle \
+                 attribution as folded stacks (one 'frame;frame;... count' \
+                 line per stack, flamegraph.pl-compatible).  Line counts \
+                 sum exactly to the burst's total serving cycles")
+  in
+  let snapshot_out =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-out" ] ~docv:"FILE"
+           ~doc:"Stream gauge snapshots (queue depth, lease state, code \
+                 bytes, epoch) as JSONL to FILE during serving bursts \
+                 (also SNAPSHOT_OUT)")
+  in
+  let snapshot_interval =
+    Arg.(value & opt int 0
+         & info [ "snapshot-interval" ] ~docv:"N"
+           ~doc:"Emit one snapshot line every N completed requests \
+                 (also SNAPSHOT_INTERVAL; 0 disables)")
+  in
   let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
   Cmd.v (Cmd.info "hhvm_run" ~doc)
     Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
           $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat
-          $ vmstats $ tc_print $ trace $ trace_out $ no_stats $ perflab
-          $ jit_workers $ request_workers)
+          $ vmstats $ tc_print $ tc_sort $ trace $ trace_out $ no_stats
+          $ perflab $ jit_workers $ request_workers $ spans $ serving_report
+          $ profile_folded $ snapshot_out $ snapshot_interval)
 
 let () = exit (Cmd.eval cmd)

@@ -373,10 +373,22 @@ let compile_at (eng : t) ~(fid : int) ~(pc : int)
         (match kind with
          | Translation.KLive ->
            eng.n_live <- eng.n_live + 1;
-           Runtime.Ledger.charge_jit (live_compile_cycles block.b_len)
+           let cc = live_compile_cycles block.b_len in
+           Runtime.Ledger.charge_jit cc;
+           if Obs.Profiler.on () then
+             Obs.Profiler.record
+               ~frames:[ "jit-compile";
+                         (Hhbc.Hunit.func eng.hunit fid).fn_name ]
+               ~cycles:cc
          | Translation.KProfiling ->
            eng.n_profiling <- eng.n_profiling + 1;
-           Runtime.Ledger.charge_jit (prof_compile_cycles block.b_len)
+           let cc = prof_compile_cycles block.b_len in
+           Runtime.Ledger.charge_jit cc;
+           if Obs.Profiler.on () then
+             Obs.Profiler.record
+               ~frames:[ "jit-compile";
+                         (Hhbc.Hunit.func eng.hunit fid).fn_name ]
+               ~cycles:cc
          | Translation.KOptimized -> ());
         publish eng tr;
         Some tr
@@ -666,8 +678,19 @@ let lazy_translate_miss (eng : t) (frame : Vm.Interp.frame) (pc : int)
     in
     let via = if eng.opts.dispatch_caches then via else None in
     let queued = Translate_queue.enqueue ~fid ~pc ~locals ~stack ~via in
+    if Obs.Span.on () then Obs.Span.count Obs.Span.Enqueue;
     if queued && Translate_queue.try_acquire () then
-      Fun.protect ~finally:Translate_queue.release (fun () ->
+      let lw0 =
+        if Obs.Span.on () then (Runtime.Ledger.acct ()).Runtime.Ledger.a_cycles
+        else 0
+      in
+      Fun.protect
+        ~finally:(fun () ->
+            Translate_queue.release ();
+            if Obs.Span.on () then
+              Obs.Span.add Obs.Span.LeaseWait
+                ((Runtime.Ledger.acct ()).Runtime.Ledger.a_cycles - lw0))
+        (fun () ->
           drain_translation_queue eng;
           match find_slot eng fid pc with
           | None -> None
@@ -812,7 +835,10 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
     in
     match entry with
     | None ->
-      if frozen then Obs.Vmstats.bump c_serving_fallback;
+      if frozen then begin
+        Obs.Vmstats.bump c_serving_fallback;
+        if Obs.Span.on () then Obs.Span.count Obs.Span.Interp
+      end;
       if first then Vm.Interp.NoTranslation else Vm.Interp.Resumed pc
     | Some (tr, en) ->
       let rb = en.Translation.en_block and idx = en.Translation.en_idx in
@@ -820,8 +846,11 @@ let try_enter (eng : t) (frame : Vm.Interp.frame) (pc : int)
       (* profiling translations carry instrumentation beyond the block
          counter (targeted profiles, §4.1 item 4); charge its overhead at
          each entry *)
-      if tr.tr_kind = Translation.KProfiling then
+      if tr.tr_kind = Translation.KProfiling then begin
         Runtime.Ledger.charge_jit 45;
+        if Obs.Profiler.on () then
+          Obs.Profiler.record ~frames:[ "jit-instrument" ] ~cycles:45
+      end;
       (match tr.tr_kind with
        | Translation.KProfiling ->
          (match !prev_prof_block with
@@ -1139,6 +1168,20 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   Obs.Vmstats.enabled := opts.stats;
   Obs.Vmstats.reset ();
   Obs.Trace.configure ~spec:opts.trace ?path:opts.trace_out ();
+  (* the span and profiler layers share one knob: both are request-level
+     attribution, both off by default, and Serving.measure forces both
+     on for the deterministic measured burst *)
+  Obs.Span.enabled := opts.spans;
+  Obs.Span.reset_local ();
+  (* the cycle-attribution profiler costs a probe per interpreted
+     instruction, so it is not tied to the cheap boundary-only spans:
+     Serving.measure forces it on for the deterministic measured burst
+     (--serving-report / --profile-folded), where wall clock is not the
+     quantity being measured *)
+  Obs.Profiler.enabled := false;
+  Obs.Profiler.reset ();
+  Obs.Snapshot.configure ?path:opts.snapshot_out
+    ~every:opts.snapshot_interval ();
   let eng = {
     opts;
     hunit = u;
@@ -1213,6 +1256,7 @@ let begin_request (eng : t) : unit =
   | Some ctx ->
     let ep = Atomic.get eng.published in
     if ep.ep_seq <> ctx.sx_epoch.ep_seq then begin
+      if Obs.Span.on () then Obs.Span.count Obs.Span.Adopt;
       (* adopting an epoch delta (same generation) keeps the mono table:
          its cached entries are still current-generation translations
          whose guards are re-validated on every hit, and lookups bound

@@ -262,6 +262,13 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
   in
   let result : outcome option ref = ref None in
   tr.tr_execs <- tr.tr_execs + 1;
+  (* cycle-attribution profiler: accumulate this run's charges locally
+     and record once at exit (tr_cycles is shared across domains, so a
+     delta of it would race; the local accumulator never does) *)
+  let prof =
+    if Obs.Profiler.on () then Some (Obs.Profiler.local ()) else None
+  in
+  let prof_cycles = ref 0 in
   let ip = ref entry in
   let code = tr.tr_code and addrs = tr.tr_addr in
   let jump label = ip := Hashtbl.find tr.tr_label_index label - 1 in
@@ -355,12 +362,22 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
     let c = cycles i + fetch + !extra in
     charge c;
     tr.tr_cycles <- tr.tr_cycles + c;
+    if prof <> None then prof_cycles := !prof_cycles + c;
     (match tr.tr_kind with
      | Translation.KLive -> m.cycles_live <- m.cycles_live + c
      | Translation.KProfiling -> m.cycles_prof <- m.cycles_prof + c
      | Translation.KOptimized -> m.cycles_opt <- m.cycles_opt + c);
     incr ip
   done;
+  (match prof with
+   | Some st ->
+     Obs.Profiler.record_jit st ~id:tr.tr_id
+       ~mk:(fun () ->
+           Printf.sprintf "jit;%s;tr%d_%s@%d"
+             frame.Vm.Interp.func.Hhbc.Instr.fn_name tr.tr_id
+             (Translation.kind_name tr.tr_kind) tr.tr_srckey)
+       ~cycles:!prof_cycles
+   | None -> ());
   let reader (o : operand) : value =
     match o with Reg r -> regs.(r) | Slot s -> slots.(s)
   in

@@ -41,6 +41,17 @@ type t = {
   mutable stats : bool;
   mutable trace : string option;
   mutable trace_out : string option;
+  (* request-level spans + cycle-attribution profiler ([--spans] /
+     [SPANS=1]; default off).  Gates Obs.Span and Obs.Profiler recording
+     during serving bursts; [Serving.measure] forces both on for the
+     deterministic measured burst regardless of this knob. *)
+  mutable spans : bool;
+  (* time-series gauge snapshots during serving bursts: JSONL sink path
+     and sample interval in completed requests ([--snapshot-out] /
+     [--snapshot-interval], [SNAPSHOT_OUT] / [SNAPSHOT_INTERVAL];
+     interval 0 = off). *)
+  mutable snapshot_out : string option;
+  mutable snapshot_interval : int;
   (* policy *)
   mutable code_budget : int option;   (* bytes; None = unlimited *)
   mutable max_live_per_srckey : int;  (* retranslation-chain length limit *)
@@ -89,6 +100,9 @@ let default () : t = {
   stats = true;
   trace = None;
   trace_out = None;
+  spans = false;
+  snapshot_out = None;
+  snapshot_interval = 0;
   code_budget = None;
   max_live_per_srckey = 4;
   nregs = 12;
@@ -114,6 +128,18 @@ let resolve_env (t : t) : unit =
    | _ -> ());
   (match Sys.getenv_opt "JIT_STATS" with
    | Some ("0" | "false" | "off") -> t.stats <- false
+   | _ -> ());
+  (match Sys.getenv_opt "SPANS" with
+   | Some ("1" | "true" | "on") -> t.spans <- true
+   | _ -> ());
+  (match t.snapshot_out, Sys.getenv_opt "SNAPSHOT_OUT" with
+   | None, (Some _ as e) -> t.snapshot_out <- e
+   | _ -> ());
+  (match Sys.getenv_opt "SNAPSHOT_INTERVAL" with
+   | Some s when t.snapshot_interval = 0 ->
+     (match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> t.snapshot_interval <- n
+      | _ -> ())
    | _ -> ());
   (match Sys.getenv_opt "JIT_WORKERS" with
    | Some s when t.jit_workers = 0 ->

@@ -31,13 +31,32 @@ let collect (eng : Engine.t) : Translation.t list =
     eng.Engine.trans;
   !acc
 
-let by_weight (a : Translation.t) (b : Translation.t) : int =
-  match compare b.Translation.tr_execs a.Translation.tr_execs with
+(** Ranking modes: by execution count or by accumulated simulated
+    cycles.  Both are total orders with a final tie on translation id
+    (ids are assigned in a canonical order), so a report is byte-stable
+    across runs and worker counts. *)
+type sort_mode = By_execs | By_cycles
+
+let sort_mode_name = function By_execs -> "execs" | By_cycles -> "cycles"
+
+let compare_by (m : sort_mode) (a : Translation.t) (b : Translation.t) : int =
+  let primary, secondary =
+    match m with
+    | By_execs ->
+      (compare b.Translation.tr_execs a.Translation.tr_execs,
+       compare b.Translation.tr_cycles a.Translation.tr_cycles)
+    | By_cycles ->
+      (compare b.Translation.tr_cycles a.Translation.tr_cycles,
+       compare b.Translation.tr_execs a.Translation.tr_execs)
+  in
+  match primary with
   | 0 ->
-    (match compare b.Translation.tr_cycles a.Translation.tr_cycles with
+    (match secondary with
      | 0 -> compare a.Translation.tr_id b.Translation.tr_id
      | c -> c)
   | c -> c
+
+let by_weight = compare_by By_execs
 
 let guard_to_string (func : Hhbc.Instr.func) (g : Rd.guard) : string =
   Printf.sprintf "%s:%s<%s>"
@@ -45,16 +64,17 @@ let guard_to_string (func : Hhbc.Instr.func) (g : Rd.guard) : string =
     (Hhbc.Rtype.to_string g.Rd.g_type)
     (Rd.constraint_name g.Rd.g_constraint)
 
-(** Render the top-[top] translations, hottest first. *)
-let report ?(top = 20) (eng : Engine.t) : string =
+(** Render the top-[top] translations, hottest first under [sort]
+    (default: by execution count). *)
+let report ?(top = 20) ?(sort = By_execs) (eng : Engine.t) : string =
   let u = eng.Engine.hunit in
-  let trs = List.sort by_weight (collect eng) in
+  let trs = List.sort (compare_by sort) (collect eng) in
   let total = List.length trs in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
-       "--- tc-print: %d translations, generation %d, top %d by execs ---\n"
-       total eng.Engine.generation (min top total));
+       "--- tc-print: %d translations, generation %d, top %d by %s ---\n"
+       total eng.Engine.generation (min top total) (sort_mode_name sort));
   List.iteri
     (fun rank (tr : Translation.t) ->
        if rank < top then begin

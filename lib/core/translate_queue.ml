@@ -76,6 +76,11 @@ let reset ?capacity () =
 let has_pending () =
   Atomic.get drained < min (Atomic.get tail) (capacity ())
 
+(** Published-but-undrained request count (a racy level read for the
+    snapshot stream; exact when read single-domain). *)
+let depth () =
+  max 0 (min (Atomic.get tail) (capacity ()) - Atomic.get drained)
+
 (* --- the write lease --- *)
 
 let lease = Atomic.make false
@@ -96,6 +101,9 @@ let acquire () =
   Obs.Vmstats.bump c_acquire
 
 let release () = Atomic.set lease false
+
+(** Is the write lease currently held? (snapshot gauge) *)
+let lease_held () : bool = Atomic.get lease
 
 (* --- enqueue / drain --- *)
 

@@ -25,6 +25,9 @@ type histogram = {
   h_buckets : int array;        (* bucket i counts values in [2^(i-1), 2^i) *)
   mutable h_count : int;
   mutable h_sum : int;
+  (* largest value observed: log2 buckets cannot recover the exact max,
+     and serving latency reports need the true tail *)
+  mutable h_max : int;
 }
 
 type timer = {
@@ -121,7 +124,8 @@ let histogram (name : string) : histogram =
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
-    let h = { h_name = name; h_buckets = Array.make 63 0; h_count = 0; h_sum = 0 } in
+    let h = { h_name = name; h_buckets = Array.make 63 0;
+              h_count = 0; h_sum = 0; h_max = 0 } in
     Hashtbl.replace histograms name h;
     h
 
@@ -155,7 +159,7 @@ let shard_histogram (s : shard) (name : string) : histogram =
   | Some h -> h
   | None ->
     let h = { h_name = name; h_buckets = Array.make 63 0;
-              h_count = 0; h_sum = 0 } in
+              h_count = 0; h_sum = 0; h_max = 0 } in
     Hashtbl.replace s.sd_hist name h;
     h
 
@@ -198,7 +202,44 @@ let bucket_of (v : int) : int =
 let observe_record (h : histogram) (v : int) =
   h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v
+
+(** Estimate the [p]-th percentile (p in [0,100]) from the log2 buckets:
+    nearest-rank bucket walk, linear interpolation inside the bucket.
+    The true maximum ([h_max]) caps the top bucket's upper edge, so tail
+    estimates never exceed an observed value.  An estimator, not an exact
+    order statistic — the raw samples are not retained. *)
+let percentile (h : histogram) (p : float) : float =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.h_count)) in
+      min (max r 1) h.h_count
+    in
+    let res = ref 0.0 and cum = ref 0 and found = ref false in
+    let i = ref 0 in
+    while not !found && !i < Array.length h.h_buckets do
+      let n = h.h_buckets.(!i) in
+      if n > 0 && !cum + n >= rank then begin
+        found := true;
+        if !i = 0 then res := 0.0
+        else begin
+          let lo = float_of_int (1 lsl (!i - 1)) in
+          let hi =
+            min (float_of_int (1 lsl !i)) (float_of_int h.h_max +. 1.0)
+          in
+          let hi = if hi <= lo then lo +. 1.0 else hi in
+          let frac = float_of_int (rank - !cum) /. float_of_int n in
+          res := lo +. (frac *. (hi -. lo))
+        end
+      end else cum := !cum + n;
+      incr i
+    done;
+    min !res (float_of_int h.h_max)
+  end
+
+let histogram_max (h : histogram) : int = h.h_max
 
 let observe (h : histogram) (v : int) =
   if !enabled then
@@ -245,7 +286,8 @@ let shard_merge (s : shard) : unit =
          (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
          sh.h_buckets;
        h.h_count <- h.h_count + sh.h_count;
-       h.h_sum <- h.h_sum + sh.h_sum)
+       h.h_sum <- h.h_sum + sh.h_sum;
+       if sh.h_max > h.h_max then h.h_max <- sh.h_max)
     s.sd_hist;
   Hashtbl.iter
     (fun name (st : timer) ->
@@ -272,15 +314,16 @@ let timer_calls (name : string) : int =
 
 (** Zero every registered value; handles stay valid (registrations are
     per-process, values are per-engine — Engine.install resets). *)
+let reset_histogram (h : histogram) =
+  Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_max <- 0
+
 let reset () =
   Hashtbl.iter (fun _ c -> c.c_count <- 0) counters;
   Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-       Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
-       h.h_count <- 0;
-       h.h_sum <- 0)
-    histograms;
+  Hashtbl.iter (fun _ h -> reset_histogram h) histograms;
   Hashtbl.iter (fun _ t -> t.t_seconds <- 0.0; t.t_calls <- 0) timers
 
 (* ------------------------------------------------------------------ *)
@@ -354,8 +397,9 @@ let to_json ?(indent = "") () : string =
               h.h_buckets;
             Buffer.add_string buf
               (Printf.sprintf
-                 "%s\"%s\": { \"count\": %d, \"sum\": %d, \"log2_buckets\": {%s} }"
-                 pad3 (json_escape n) h.h_count h.h_sum
+                 "%s\"%s\": { \"count\": %d, \"sum\": %d, \"max\": %d, \
+                  \"log2_buckets\": {%s} }"
+                 pad3 (json_escape n) h.h_count h.h_sum h.h_max
                  (String.concat ", " (List.rev !bl)))))
     false;
   obj "timers"

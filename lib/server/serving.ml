@@ -26,7 +26,16 @@
     bit-identical for any worker count and any schedule.  [workers = 1]
     serves inline on the calling domain through the historical fully
     mutable dispatch path (lazy compile, link smashing), which the
-    parity tests pin the parallel path against. *)
+    parity tests pin the parallel path against.
+
+    Request-level observability rides the same boundaries: when spans
+    are on ([--spans]), every request records an [Obs.Span] timeline
+    (cycles from ledger deltas at the request boundary — nothing on the
+    dispatch hot path) and the profiler attributes its cycles; each
+    domain buffers its own spans and the join merges them in request-
+    slot order, the canonical order for any schedule.  {!measure} runs
+    the fully deterministic single-domain variant whose serving report
+    is byte-identical for any (jit x request) worker configuration. *)
 
 open Workloads.Endpoints
 
@@ -41,6 +50,9 @@ type result = {
   sv_cycles : int array;         (** simulated cycles charged per request *)
   sv_wall_s : float;             (** wall-clock for the serving burst *)
   sv_workers : int;              (** worker count actually used *)
+  sv_spans : Obs.Span.span array;
+  (** per-request phase timelines, merged in request-slot order; empty
+      unless spans were enabled for the burst *)
 }
 
 (** Deterministic weighted request mix, mirroring the Perflab measurement
@@ -67,6 +79,70 @@ let output_hash (outputs : string array) : int =
   Array.iteri (fun i out -> h := !h lxor Hashtbl.hash (i, out)) outputs;
   !h
 
+(* Per-request simulated-cycle distribution for the burst; reset at burst
+   start so percentiles measure the burst, not warmup residue. *)
+let h_request_cycles = Obs.Vmstats.histogram "serving.request_cycles"
+
+(* One gauge-snapshot line every SNAPSHOT_INTERVAL completed requests. *)
+let emit_snapshot (eng : Core.Engine.t) (done_ : int) : unit =
+  if Obs.Snapshot.due done_ then begin
+    let ep = Atomic.get eng.Core.Engine.published in
+    Obs.Snapshot.emit
+      [ ("req_done", done_);
+        ("queue_depth", Core.Translate_queue.depth ());
+        ("lease_held", if Core.Translate_queue.lease_held () then 1 else 0);
+        ("tc_bytes", Core.Engine.code_bytes eng);
+        ("epoch", ep.Core.Engine.ep_seq);
+        ("generation", ep.Core.Engine.ep_gen) ]
+  end
+
+(** Serve one request slot: span/profiler bracketing, epoch adoption,
+    the endpoint call, per-request cycle accounting, and the completion
+    hook.  [post] is called once after the slot's output is recorded and
+    returns the burst trigger to run (at most once per burst) — its
+    cycles are attributed to the span's retranslate-pause phase, since
+    the triggering request is the one that exposes the pause. *)
+let serve_request (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
+    ~(outputs : string array) ~(cycles : int array)
+    ~(post : unit -> (unit -> unit) option)
+    (requests : request array) (slot : int) : unit =
+  let rq = requests.(slot) in
+  let spans_on = Obs.Span.on () in
+  let prof_on = Obs.Profiler.on () in
+  let a = Runtime.Ledger.acct () in
+  let c0 = a.Runtime.Ledger.a_cycles in
+  let i0 = a.Runtime.Ledger.a_interp in
+  let j0 = a.Runtime.Ledger.a_jit in
+  if spans_on then
+    Obs.Span.begin_request ~slot ~label:rq.rq_ep.ep_name;
+  if prof_on then Obs.Profiler.begin_request ~root:rq.rq_ep.ep_name;
+  (* adopt the latest epoch inside the span window, so adoptions count
+     against the request that performed them *)
+  Core.Engine.begin_request eng;
+  let out = Perflab.call_endpoint u rq.rq_ep rq.rq_arg in
+  let dc = a.Runtime.Ledger.a_cycles - c0 in
+  cycles.(slot) <- dc;
+  outputs.(slot) <- out;
+  Obs.Vmstats.observe h_request_cycles dc;
+  if spans_on then begin
+    Obs.Span.add Obs.Span.Jit (a.Runtime.Ledger.a_jit - j0);
+    Obs.Span.add Obs.Span.Interp (a.Runtime.Ledger.a_interp - i0)
+  end;
+  (* close attribution before the trigger: a retranslate-all is burst
+     maintenance, not part of this request's serving cost *)
+  if prof_on then Obs.Profiler.end_request ~total:dc;
+  (match post () with
+   | Some fn ->
+     if spans_on then begin
+       let p0 = a.Runtime.Ledger.a_cycles in
+       fn ();
+       Obs.Span.add Obs.Span.RetransPause
+         (a.Runtime.Ledger.a_cycles - p0)
+     end
+     else fn ()
+   | None -> ());
+  if spans_on then Obs.Span.end_request ~total:dc
+
 (* Everything a joined worker hands back for the serial merge. *)
 type worker_report = {
   wr_shard : Obs.Vmstats.shard;
@@ -74,6 +150,8 @@ type worker_report = {
   wr_heap : Runtime.Heap.stats;
   wr_ledger : Runtime.Ledger.acct;
   wr_instrs : int;
+  wr_spans : Obs.Span.span list;
+  wr_prof : (string * int) list;
 }
 
 (** Serve [requests] and return per-request outputs/cycles plus the
@@ -93,116 +171,336 @@ let run ?workers ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
   let cycles = Array.make n 0 in
   let completed = Atomic.make 0 in
   let fired = Atomic.make false in
-  let serve_one (i : int) : unit =
-    let rq = requests.(i) in
-    let c0 = Runtime.Ledger.read () in
-    let out = Perflab.call_endpoint u rq.rq_ep rq.rq_arg in
-    cycles.(i) <- Runtime.Ledger.read () - c0;
-    outputs.(i) <- out;
+  (* burst-start histogram reset: serving percentiles measure the burst *)
+  Obs.Vmstats.reset_histogram h_request_cycles;
+  Obs.Span.reset_local ();
+  let post () =
     let done_ = 1 + Atomic.fetch_and_add completed 1 in
+    emit_snapshot eng done_;
     match trigger with
     | Some (at, fn) when done_ >= at ->
-      if Atomic.compare_and_set fired false true then fn ()
-    | _ -> ()
+      if Atomic.compare_and_set fired false true then Some fn else None
+    | _ -> None
   in
   let t0 = Unix.gettimeofday () in
-  if workers <= 1 then
-    (* inline on the calling domain: the historical mutable dispatch path
-       (lazy compile, link smashing, shared profile) — no freezing *)
-    for i = 0 to n - 1 do serve_one i done
-  else begin
-    (* Frozen fan-out.  Publish the current tables as an epoch, freeze
-       string interning (workers may intern novel constants), and shard
-       every per-domain counter family for the duration of the burst.
-       The translation-request queue restarts empty: lazy in-burst
-       translation is scoped per burst (this is the quiescent point the
-       queue's reset contract requires). *)
-    Core.Engine.publish_epoch eng;
-    Core.Translate_queue.reset ();
-    Hhbc.Hunit.freeze_interning true;
-    Obs.Vmstats.shards_begin ();
-    let next = Atomic.make 0 in
-    let worker () : worker_report =
-      let shard = Obs.Vmstats.shard_create () in
-      Obs.Vmstats.shard_install (Some shard);
-      Core.Engine.enter_serving eng;
-      Vm.Prof.install_local ();
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else begin
-          Core.Engine.begin_request eng;
-          serve_one i;
-          (* request boundary: fold this domain's profile increments into
-             the shared pending accumulator *)
-          Vm.Prof.flush_local ()
-        end
+  let spans =
+    if workers <= 1 then begin
+      (* inline on the calling domain: the historical mutable dispatch path
+         (lazy compile, link smashing, shared profile) — no freezing *)
+      for i = 0 to n - 1 do
+        serve_request u eng ~outputs ~cycles ~post requests i
       done;
-      Vm.Prof.uninstall_local ();
-      let machine = Core.Engine.exit_serving () in
-      Obs.Vmstats.shard_install None;
-      { wr_shard = shard;
-        wr_machine = machine;
-        wr_heap = Runtime.Heap.stats ();
-        wr_ledger = Runtime.Ledger.acct ();
-        wr_instrs = Vm.Interp.instr_count () }
-    in
-    (* Optional dedicated drainer domain (ISSUE: "a dedicated jit worker
-       domain or the first serve worker to win a CAS write lease" — both
-       run; the lease arbitrates).  Only spawned when the configuration
-       asks for background JIT parallelism, since on fewer cores the
-       serve workers' own opportunistic drains already keep up.  Compile
-       cycles it charges land on its own ledger account — background
-       compilation, off every request's measured cost, like HHVM's JIT
-       worker threads. *)
-    let stop_drainer = Atomic.make false in
-    let drainer =
-      if eng.Core.Engine.opts.Core.Jit_options.jit_workers >= 2
-      && eng.Core.Engine.opts.Core.Jit_options.lazy_translate then
-        Some
-          (Domain.spawn (fun () ->
-               let shard = Obs.Vmstats.shard_create () in
-               Obs.Vmstats.shard_install (Some shard);
-               Core.Jit_worker.drain_loop ~stop:stop_drainer
-                 ~drain:(fun () -> Core.Engine.drain_translation_queue eng);
-               Obs.Vmstats.shard_install None;
-               { wr_shard = shard;
-                 wr_machine = None;
-                 wr_heap = Runtime.Heap.stats ();
-                 wr_ledger = Runtime.Ledger.acct ();
-                 wr_instrs = Vm.Interp.instr_count () }))
-      else None
-    in
-    let reports =
-      Array.map Domain.join
-        (Array.init workers (fun _ -> Domain.spawn worker))
-    in
-    Atomic.set stop_drainer true;
-    let reports =
-      match drainer with
-      | Some d -> Array.append reports [| Domain.join d |]
-      | None -> reports
-    in
-    Obs.Vmstats.shards_end ();
-    Hhbc.Hunit.freeze_interning false;
-    (* Serial merge: fold every worker's counters into the main domain's
-       so process-wide totals are exact regardless of schedule. *)
-    Array.iter
-      (fun r ->
-         Obs.Vmstats.shard_merge r.wr_shard;
-         Option.iter (Core.Engine.merge_machine eng) r.wr_machine;
-         Runtime.Heap.absorb_stats r.wr_heap;
-         Runtime.Ledger.absorb r.wr_ledger;
-         Vm.Interp.add_instr_count r.wr_instrs)
-      reports;
-    (* profile increments flushed by workers but not yet folded into the
-       canonical profile (no retranslate fired) are merged now *)
-    Vm.Prof.merge_pending ()
-  end;
+      Obs.Profiler.absorb (Obs.Profiler.take ());
+      Obs.Span.merge [ Obs.Span.take () ]
+    end
+    else begin
+      (* Frozen fan-out.  Publish the current tables as an epoch, freeze
+         string interning (workers may intern novel constants), and shard
+         every per-domain counter family for the duration of the burst.
+         The translation-request queue restarts empty: lazy in-burst
+         translation is scoped per burst (this is the quiescent point the
+         queue's reset contract requires). *)
+      Core.Engine.publish_epoch eng;
+      Core.Translate_queue.reset ();
+      Hhbc.Hunit.freeze_interning true;
+      Obs.Vmstats.shards_begin ();
+      let next = Atomic.make 0 in
+      let worker () : worker_report =
+        let shard = Obs.Vmstats.shard_create () in
+        Obs.Vmstats.shard_install (Some shard);
+        Core.Engine.enter_serving eng;
+        Vm.Prof.install_local ();
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            serve_request u eng ~outputs ~cycles ~post requests i;
+            (* request boundary: fold this domain's profile increments into
+               the shared pending accumulator *)
+            Vm.Prof.flush_local ()
+          end
+        done;
+        Vm.Prof.uninstall_local ();
+        let machine = Core.Engine.exit_serving () in
+        Obs.Vmstats.shard_install None;
+        { wr_shard = shard;
+          wr_machine = machine;
+          wr_heap = Runtime.Heap.stats ();
+          wr_ledger = Runtime.Ledger.acct ();
+          wr_instrs = Vm.Interp.instr_count ();
+          wr_spans = Obs.Span.take ();
+          wr_prof = Obs.Profiler.take () }
+      in
+      (* Optional dedicated drainer domain (ISSUE: "a dedicated jit worker
+         domain or the first serve worker to win a CAS write lease" — both
+         run; the lease arbitrates).  Only spawned when the configuration
+         asks for background JIT parallelism, since on fewer cores the
+         serve workers' own opportunistic drains already keep up.  Compile
+         cycles it charges land on its own ledger account — background
+         compilation, off every request's measured cost, like HHVM's JIT
+         worker threads. *)
+      let stop_drainer = Atomic.make false in
+      let drainer =
+        if eng.Core.Engine.opts.Core.Jit_options.jit_workers >= 2
+        && eng.Core.Engine.opts.Core.Jit_options.lazy_translate then
+          Some
+            (Domain.spawn (fun () ->
+                 let shard = Obs.Vmstats.shard_create () in
+                 Obs.Vmstats.shard_install (Some shard);
+                 (* the drainer serves no requests: its compile cycles are
+                    attributed under a "background" root, not a span *)
+                 if Obs.Profiler.on () then
+                   Obs.Profiler.begin_request ~root:"background";
+                 Core.Jit_worker.drain_loop ~stop:stop_drainer
+                   ~drain:(fun () -> Core.Engine.drain_translation_queue eng);
+                 Obs.Vmstats.shard_install None;
+                 { wr_shard = shard;
+                   wr_machine = None;
+                   wr_heap = Runtime.Heap.stats ();
+                   wr_ledger = Runtime.Ledger.acct ();
+                   wr_instrs = Vm.Interp.instr_count ();
+                   wr_spans = [];
+                   wr_prof = Obs.Profiler.take () }))
+        else None
+      in
+      let reports =
+        Array.map Domain.join
+          (Array.init workers (fun _ -> Domain.spawn worker))
+      in
+      Atomic.set stop_drainer true;
+      let reports =
+        match drainer with
+        | Some d -> Array.append reports [| Domain.join d |]
+        | None -> reports
+      in
+      Obs.Vmstats.shards_end ();
+      Hhbc.Hunit.freeze_interning false;
+      (* Serial merge: fold every worker's counters into the main domain's
+         so process-wide totals are exact regardless of schedule. *)
+      Array.iter
+        (fun r ->
+           Obs.Vmstats.shard_merge r.wr_shard;
+           Option.iter (Core.Engine.merge_machine eng) r.wr_machine;
+           Runtime.Heap.absorb_stats r.wr_heap;
+           Runtime.Ledger.absorb r.wr_ledger;
+           Vm.Interp.add_instr_count r.wr_instrs;
+           Obs.Profiler.absorb r.wr_prof)
+        reports;
+      (* profile increments flushed by workers but not yet folded into the
+         canonical profile (no retranslate fired) are merged now *)
+      Vm.Prof.merge_pending ();
+      Obs.Span.merge
+        (Array.to_list (Array.map (fun r -> r.wr_spans) reports))
+    end
+  in
   let wall = Unix.gettimeofday () -. t0 in
   { sv_outputs = outputs;
     sv_output_hash = output_hash outputs;
     sv_cycles = cycles;
     sv_wall_s = wall;
-    sv_workers = workers }
+    sv_workers = workers;
+    sv_spans = spans }
+
+(* ------------------------------------------------------------------ *)
+(* The deterministic measured burst and its serving report             *)
+(* ------------------------------------------------------------------ *)
+
+type measured = {
+  me_result : result;
+  me_profile : (string * int) list;
+  (** merged cycle attribution, folded-stack keys, sorted *)
+  me_profile_total : int;
+  (** sum over [me_profile]; equals the sum of [sv_cycles] exactly *)
+}
+
+(** The deterministic measured burst behind [--serving-report]: serve
+    the mix in request-slot order on the calling domain through the
+    {e frozen} serving path (published epoch, per-request adoption,
+    lazy-translation queue, fresh machine), with spans and the profiler
+    forced on.
+
+    Why this is byte-identical for any (jit x request) worker
+    configuration: parallel-burst per-request cycles are inherently
+    schedule-dependent (which requests interp vs enter lazily-compiled
+    code depends on when epoch deltas land; per-domain i-cache state is
+    history-dependent), so a report measured over a parallel burst
+    cannot be.  The measured burst removes the schedule: one domain, a
+    fresh machine ([enter_serving]), requests served in slot order, the
+    lease always uncontended, and [trigger] fired at a deterministic
+    completed count.  [jit_workers] only affects the retranslate-all
+    publish, which is deterministic by construction (PR 3), and
+    [request_workers] never enters the measurement — so the report, the
+    span log and the folded profile are all bit-stable.  (DESIGN.md §10
+    carries the full argument.) *)
+let measure ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
+    (requests : request array) : measured =
+  let n = Array.length requests in
+  let outputs = Array.make n "" in
+  let cycles = Array.make n 0 in
+  let s0 = !Obs.Span.enabled and p0 = !Obs.Profiler.enabled in
+  Obs.Span.enabled := true;
+  Obs.Profiler.enabled := true;
+  Obs.Span.reset_local ();
+  Obs.Profiler.reset ();
+  Obs.Vmstats.reset_histogram h_request_cycles;
+  Core.Engine.publish_epoch eng;
+  Core.Translate_queue.reset ();
+  Core.Engine.enter_serving eng;
+  let completed = ref 0 in
+  let fired = ref false in
+  let post () =
+    incr completed;
+    emit_snapshot eng !completed;
+    match trigger with
+    | Some (at, fn) when !completed >= at && not !fired ->
+      fired := true;
+      Some fn
+    | _ -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    serve_request u eng ~outputs ~cycles ~post requests i
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (match Core.Engine.exit_serving () with
+   | Some m -> Core.Engine.merge_machine eng m
+   | None -> ());
+  let spans = Obs.Span.merge [ Obs.Span.take () ] in
+  Obs.Profiler.absorb (Obs.Profiler.take ());
+  let profile = Obs.Profiler.folded_entries () in
+  let profile_total = Obs.Profiler.folded_total () in
+  Obs.Span.enabled := s0;
+  Obs.Profiler.enabled := p0;
+  { me_result =
+      { sv_outputs = outputs;
+        sv_output_hash = output_hash outputs;
+        sv_cycles = cycles;
+        sv_wall_s = wall;
+        sv_workers = 1;
+        sv_spans = spans };
+    me_profile = profile;
+    me_profile_total = profile_total }
+
+(** Exact nearest-rank percentile over a sorted sample array (the report
+    keeps every per-request cycle count, so no estimation is needed —
+    and integer results keep the report byte-stable). *)
+let percentile_exact (sorted : int array) (p : float) : int =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (r - 1)))
+  end
+
+(** Endpoint-weighted mean cycles/request (the bench's serving metric). *)
+let weighted_cycles (requests : request array) (cycles : int array) : float =
+  let acc = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (rq : request) ->
+       let name = rq.rq_ep.ep_name in
+       let c, k = Option.value (Hashtbl.find_opt acc name) ~default:(0, 0) in
+       Hashtbl.replace acc name (c + cycles.(i), k + 1))
+    requests;
+  let wsum, csum =
+    List.fold_left
+      (fun (ws, cs) (ep : endpoint) ->
+         match Hashtbl.find_opt acc ep.ep_name with
+         | None -> (ws, cs)
+         | Some (c, k) ->
+           (ws + ep.ep_weight,
+            cs +. (float_of_int ep.ep_weight
+                   *. (float_of_int c /. float_of_int k))))
+      (0, 0.0) endpoints
+  in
+  if wsum = 0 then 0.0 else csum /. float_of_int wsum
+
+(** The serving report as JSON: request-cycle percentiles (exact
+    nearest-rank over the per-request samples, plus the log2-histogram
+    estimator for comparison), per-phase breakdowns from the merged span
+    log, per-endpoint latency, and the profile's sum check.  Emits only
+    integers, fixed-precision floats and identifier strings — never a
+    brace inside a string — so the bench's baseline brace-scanner and
+    byte-equality comparisons both hold. *)
+let report_json (requests : request array) (m : measured) : string =
+  let r = m.me_result in
+  let n = Array.length r.sv_cycles in
+  let total = Array.fold_left ( + ) 0 r.sv_cycles in
+  let sorted = Array.copy r.sv_cycles in
+  Array.sort compare sorted;
+  let mean = if n = 0 then 0.0 else float_of_int total /. float_of_int n in
+  (* the log2-bucket estimator, fed independently of the vmstats knob so
+     the report never depends on whether stats were on *)
+  let h =
+    { Obs.Vmstats.h_name = "request_cycles";
+      h_buckets = Array.make 63 0; h_count = 0; h_sum = 0; h_max = 0 }
+  in
+  Array.iter (Obs.Vmstats.observe_record h) r.sv_cycles;
+  let phase_cycles = Array.make Obs.Span.nphases 0 in
+  let phase_counts = Array.make Obs.Span.nphases 0 in
+  Array.iter
+    (fun (sp : Obs.Span.span) ->
+       for i = 0 to Obs.Span.nphases - 1 do
+         phase_cycles.(i) <- phase_cycles.(i) + sp.Obs.Span.sp_cycles.(i);
+         phase_counts.(i) <- phase_counts.(i) + sp.Obs.Span.sp_counts.(i)
+       done)
+    r.sv_spans;
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"serving-report/1\",\n";
+  add "  \"requests\": %d,\n" n;
+  add "  \"total_cycles\": %d,\n" total;
+  add "  \"weighted_cycles_per_req\": %.1f,\n"
+    (weighted_cycles requests r.sv_cycles);
+  add "  \"output_hash\": %d,\n" r.sv_output_hash;
+  add "  \"request_cycles\": { \"p50\": %d, \"p95\": %d, \"p99\": %d, \
+       \"max\": %d, \"mean\": %.1f },\n"
+    (percentile_exact sorted 50.0) (percentile_exact sorted 95.0)
+    (percentile_exact sorted 99.0)
+    (if n = 0 then 0 else sorted.(n - 1))
+    mean;
+  add "  \"request_cycles_log2_estimate\": { \"p50\": %.1f, \"p95\": %.1f, \
+       \"p99\": %.1f, \"max\": %d },\n"
+    (Obs.Vmstats.percentile h 50.0) (Obs.Vmstats.percentile h 95.0)
+    (Obs.Vmstats.percentile h 99.0) (Obs.Vmstats.histogram_max h);
+  add "  \"phases\": {\n";
+  List.iteri
+    (fun i ph ->
+       let idx = Obs.Span.phase_index ph in
+       add "    \"%s\": { \"count\": %d, \"cycles\": %d }%s\n"
+         (Obs.Span.phase_name ph) phase_counts.(idx) phase_cycles.(idx)
+         (if i = Obs.Span.nphases - 1 then "" else ","))
+    Obs.Span.phases;
+  add "  },\n";
+  add "  \"profile\": { \"entries\": %d, \"total_cycles\": %d },\n"
+    (List.length m.me_profile) m.me_profile_total;
+  add "  \"per_endpoint\": {\n";
+  let eps =
+    List.filter
+      (fun (ep : endpoint) ->
+         Array.exists (fun rq -> rq.rq_ep.ep_name = ep.ep_name) requests)
+      endpoints
+  in
+  List.iteri
+    (fun i (ep : endpoint) ->
+       let acc = ref [] in
+       Array.iteri
+         (fun j rq ->
+            if rq.rq_ep.ep_name = ep.ep_name then
+              acc := r.sv_cycles.(j) :: !acc)
+         requests;
+       let cs = Array.of_list (List.rev !acc) in
+       Array.sort compare cs;
+       let k = Array.length cs in
+       let tot = Array.fold_left ( + ) 0 cs in
+       add "    \"%s\": { \"requests\": %d, \"total_cycles\": %d, \
+            \"p50\": %d, \"p95\": %d, \"p99\": %d, \"max\": %d }%s\n"
+         ep.ep_name k tot
+         (percentile_exact cs 50.0) (percentile_exact cs 95.0)
+         (percentile_exact cs 99.0) (if k = 0 then 0 else cs.(k - 1))
+         (if i = List.length eps - 1 then "" else ","))
+    eps;
+  add "  }\n";
+  add "}";
+  Buffer.contents buf

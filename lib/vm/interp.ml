@@ -62,6 +62,11 @@ let op_counters : Obs.Vmstats.counter array Lazy.t =
     (Array.map (fun n -> Obs.Vmstats.counter ("interp.op." ^ n))
        Hhbc.Instr.opcode_names)
 
+(* Register opcode names with the cycle-attribution profiler once, so
+   per-opcode interp attribution renders symbolically (obs cannot depend
+   on hhbc). *)
+let () = Obs.Profiler.set_op_names Hhbc.Instr.opcode_names
+
 (* Method-dispatch cache telemetry (the interpreter side of the PR 1
    per-call-site caches). *)
 let c_meth_hit = Obs.Vmstats.counter "interp.meth_cache.hit"
@@ -363,16 +368,27 @@ let rec run (fr : frame) (start_pc : int) : value =
   let acct = Runtime.Ledger.acct () in
   let stats_on = Obs.Vmstats.on () in
   let ops = if stats_on then Lazy.force op_counters else [||] in
+  (* per-opcode cycle attribution (Obs.Profiler): like the probes above,
+     the enabled check and the domain-local state are hoisted out of the
+     dispatch loop — a profiler-off run pays one option test per
+     instruction *)
+  let prof =
+    if Obs.Profiler.on () then Some (Obs.Profiler.local ()) else None
+  in
   let pc = ref start_pc in
   let ret : value option ref = ref None in
   while Option.is_none !ret do
     let this_pc = !pc in
     try
       let i = code.(this_pc) in
-      Runtime.Ledger.charge_interp_on acct (Cost.instr_cost i);
+      let cost = Cost.instr_cost i in
+      Runtime.Ledger.charge_interp_on acct cost;
       incr icount;
       if stats_on then
         Obs.Vmstats.bump ops.(Hhbc.Instr.opcode_id i);
+      (match prof with
+       | Some st -> Obs.Profiler.op_charge st (Hhbc.Instr.opcode_id i) cost
+       | None -> ());
       (* default: fall through *)
       pc := this_pc + 1;
       (match i with

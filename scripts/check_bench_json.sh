@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Validate the serving_report section of BENCH_hotpath.json:
+#   - the report schema tag and every percentile / phase / profile key
+#     the serving report contracts to emit,
+#   - the profiler's sum invariant: the folded profile's total_cycles
+#     must equal the report's total_cycles exactly (every serving cycle
+#     is attributed somewhere; the residual bucket guarantees it).
+# The emitter never puts braces inside JSON strings, so plain grep/awk
+# is sufficient — no JSON parser dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+json="${1:-BENCH_hotpath.json}"
+if [ ! -f "$json" ]; then
+  echo "ERROR: $json not found (run \`dune exec bench/main.exe -- json\` first)"
+  exit 1
+fi
+
+fail=0
+require() {
+  if ! grep -q "$1" "$json"; then
+    echo "ERROR: $json lacks $2"
+    fail=1
+  fi
+}
+
+require '"serving_report"'            'the serving_report section'
+require '"serving-report/1"'          'the serving-report schema tag'
+require '"weighted_cycles_per_req"'   'weighted cycles per request'
+require '"request_cycles"'            'the request-cycle percentile object'
+for p in p50 p95 p99 max; do
+  require "\"$p\"" "percentile key $p"
+done
+require '"request_cycles_log2_estimate"' 'the log2-histogram estimate'
+require '"phases"'                    'the per-phase breakdown'
+for phase in epoch_adopt jit_dispatch interp_fallback miss_enqueue \
+             lease_wait retranslate_pause; do
+  require "\"$phase\"" "span phase $phase"
+done
+require '"profile"'                   'the profile summary'
+require '"per_endpoint"'              'the per-endpoint breakdown'
+
+# Sum invariant: the serving report's total_cycles and the profile's
+# total_cycles (both inside the serving_report object) must be equal.
+# The report emits total_cycles first, then the profile line; collect
+# every total_cycles in the current section and compare the first two
+# after each "serving_report" marker.
+mismatch=$(awk '
+  /"serving_report"/ { in_report = 1; seen = 0; first = 0 }
+  in_report && match($0, /"total_cycles": [0-9]+/) {
+    v = substr($0, RSTART + 16, RLENGTH - 16)
+    seen++
+    if (seen == 1) first = v
+    if (seen == 2) {
+      if (first != v) { print "mismatch " first " != " v }
+      in_report = 0
+    }
+  }
+' "$json")
+if [ -n "$mismatch" ]; then
+  echo "ERROR: serving_report total_cycles != profile total_cycles ($mismatch)"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_bench_json OK: serving_report keys present, profile sum ties out"

@@ -15,7 +15,11 @@
 #   5. lazy-translation smoke: LAZY_TRANSLATE=1 forces the write-leased
 #      in-burst translation path through the same 4x4 sweep (nonzero on
 #      hash divergence), and the bench JSON's `serving` section must
-#      carry the per-burst miss/fallback counters.
+#      carry the per-burst miss/fallback counters,
+#   6. serving-report validation: check_bench_json.sh asserts the
+#      serving_report section carries every percentile/phase/profile key
+#      and that the folded profile's cycle total equals the report's
+#      total serving cycles exactly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,5 +55,8 @@ for key in translation_miss interp_fallback; do
     exit 1
   fi
 done
+
+echo "== serving report validation =="
+./scripts/check_bench_json.sh
 
 echo "CI OK"

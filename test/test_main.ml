@@ -12,4 +12,5 @@ let () =
       Test_edge.suite;
       Test_obs.suite;
       Test_parallel.suite;
+      Test_spans.suite;
     ]
