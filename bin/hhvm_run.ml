@@ -74,11 +74,12 @@ let report_telemetry (engine : Core.Engine.t) ~(vmstats : string option)
   Obs.Snapshot.close ()
 
 let run file mode entry dump_bc dump_regions stats no_rce no_inlining
-    no_relax no_dispatch repeat vmstats tc_print tc_sort trace trace_out
-    no_stats perflab jit_workers request_workers spans serving_report
-    profile_folded snapshot_out snapshot_interval =
+    no_relax no_dispatch no_interp_threaded repeat vmstats tc_print tc_sort
+    trace trace_out no_stats perflab jit_workers request_workers spans
+    serving_report profile_folded snapshot_out snapshot_interval =
   let opts = Core.Jit_options.default () in
   opts.mode <- mode;
+  if no_interp_threaded then Vm.Interp.threaded_dispatch := false;
   if jit_workers > 0 then opts.jit_workers <- jit_workers;
   if request_workers > 0 then opts.request_workers <- request_workers;
   if no_rce then opts.rce <- false;
@@ -303,6 +304,14 @@ let cmd =
          & info [ "no-method-dispatch" ]
            ~doc:"Disable method-dispatch optimization and inline caches")
   in
+  let no_interp_threaded =
+    Arg.(value & flag
+         & info [ "no-interp-threaded" ]
+           ~doc:"Use the legacy match-on-variant interpreter loop instead \
+                 of the flattened closure-threaded dispatch (also \
+                 INTERP_THREADED=0).  Outputs are bit-identical; this \
+                 exists for differential testing and triage")
+  in
   let repeat =
     Arg.(value & opt int 2
          & info [ "repeat"; "n" ] ~docv:"N"
@@ -410,9 +419,10 @@ let cmd =
   let doc = "MiniPHP VM with a profile-guided, region-based JIT (HHVM-style)" in
   Cmd.v (Cmd.info "hhvm_run" ~doc)
     Term.(const run $ file $ mode $ entry $ dump_bc $ dump_regions $ stats
-          $ no_rce $ no_inlining $ no_relax $ no_dispatch $ repeat
-          $ vmstats $ tc_print $ tc_sort $ trace $ trace_out $ no_stats
-          $ perflab $ jit_workers $ request_workers $ spans $ serving_report
-          $ profile_folded $ snapshot_out $ snapshot_interval)
+          $ no_rce $ no_inlining $ no_relax $ no_dispatch
+          $ no_interp_threaded $ repeat $ vmstats $ tc_print $ tc_sort
+          $ trace $ trace_out $ no_stats $ perflab $ jit_workers
+          $ request_workers $ spans $ serving_report $ profile_folded
+          $ snapshot_out $ snapshot_interval)
 
 let () = exit (Cmd.eval cmd)

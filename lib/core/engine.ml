@@ -726,7 +726,7 @@ let materialize_inline (eng : t) (tr : Translation.t)
   let locals = Array.make (max callee.fn_num_locals 1) VUninit in
   List.iter (fun (l, t) -> if l < Array.length locals then locals.(l) <- read_tmp t)
     ie.ie_locals;
-  let stack = Array.make Vm.Interp.max_stack VUninit in
+  let stack = Array.make (Vm.Interp.frame_stack_size callee) VUninit in
   List.iteri (fun i t -> stack.(i) <- read_tmp t) ie.ie_stack;
   { Vm.Interp.func = callee;
     unit_ = eng.hunit;
@@ -734,8 +734,12 @@ let materialize_inline (eng : t) (tr : Translation.t)
     stack;
     sp = List.length ie.ie_stack;
     this_ = (match ie.ie_this with Some t -> read_tmp t | None -> VNull);
-    iters = Array.init (max callee.fn_num_iters 1)
-        (fun _ -> { Vm.Interp.it_arr = None; it_pos = 0 }) }
+    iters =
+      (if callee.fn_num_iters = 0 then [||]
+       else
+         Array.init callee.fn_num_iters
+           (fun _ -> { Vm.Interp.it_arr = None; it_pos = 0 }));
+    acct = Vm.Interp.no_acct; pc_ = 0; ret_ = VUninit; cyc_ = 0; icnt_ = 0 }
 
 (** Attempt to enter compiled code at (frame, pc); handles chaining through
     exits until compiled execution ends.  This function implements the
@@ -1213,12 +1217,18 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
      cache policy; stale entries from a previous engine die here *)
   Vm.Interp.dispatch_caches_enabled := opts.dispatch_caches;
   Vm.Interp.reset_meth_site_caches ();
+  (* lower every function to its flat threaded-dispatch form now (install
+     runs after any hhbbc rewrites): serving workers never contend on the
+     flatten path mid-burst, and first-request latency excludes lowering *)
+  Vm.Interp.preflatten u;
   (if opts.mode = Jit_options.Interp then begin
      Vm.Interp.call_dispatch := Vm.Interp.call_interpreted;
-     Vm.Interp.translation_hook := (fun _ _ -> Vm.Interp.NoTranslation)
+     Vm.Interp.translation_hook := (fun _ _ -> Vm.Interp.NoTranslation);
+     Vm.Interp.hook_active := false
    end else begin
      Vm.Interp.call_dispatch := (fun u fid args this_ -> call_func eng u fid args this_);
-     Vm.Interp.translation_hook := (fun frame pc -> try_enter eng frame pc)
+     Vm.Interp.translation_hook := (fun frame pc -> try_enter eng frame pc);
+     Vm.Interp.hook_active := true
    end);
   publish_epoch eng;
   eng

@@ -269,6 +269,9 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
     if Obs.Profiler.on () then Some (Obs.Profiler.local ()) else None
   in
   let prof_cycles = ref 0 in
+  (* per-run hoist of the ledger account (mirrors the interpreter's
+     per-activation hoist): the DLS read leaves the per-instruction loop *)
+  let acct = Runtime.Ledger.acct () in
   let ip = ref entry in
   let code = tr.tr_code and addrs = tr.tr_addr in
   let jump label = ip := Hashtbl.find tr.tr_label_index label - 1 in
@@ -360,7 +363,7 @@ let run_with_state (m : machine) (tr : Translation.t) ~(entry : int)
      | VReload (d, slot) -> wr d slots.(slot)
      | VNop -> ());
     let c = cycles i + fetch + !extra in
-    charge c;
+    Runtime.Ledger.charge_jit_on acct c;
     tr.tr_cycles <- tr.tr_cycles + c;
     if prof <> None then prof_cycles := !prof_cycles + c;
     (match tr.tr_kind with

@@ -86,6 +86,7 @@ let rewrite_func (u : Hhbc.Hunit.t) (f : func) : int (* #asserts *) =
     out := before.(pc) @ (remap f.fn_body.(pc) :: after.(pc)) @ !out
   done;
   f.fn_body <- Array.of_list !out;
+  Hhbc.Instr.invalidate_flat f;
   (* exception regions move with their instructions *)
   f.fn_ex_table <-
     List.map

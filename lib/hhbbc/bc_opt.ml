@@ -93,5 +93,8 @@ let run (u : Hhbc.Hunit.t) : int =
        let n = thread_jumps f + kill_jmp_to_next f + kill_unreachable u f in
        (* threading can expose more jump-to-next cases; one more round *)
        let n = n + thread_jumps f + kill_jmp_to_next f in
+       (* the rewrites above mutate [fn_body] in place: drop any flattened
+          form the interpreter may already have cached for this function *)
+       if n > 0 then Hhbc.Instr.invalidate_flat f;
        acc + n)
     0 u.Hhbc.Hunit.functions

@@ -546,9 +546,13 @@ let emit_fun (u : Hunit.t) ~(id : int) ~(name : string) ~(cls : string option)
     fn_num_locals = ctx.nlocals;
     fn_local_names = Array.of_list (List.rev ctx.local_names);
     fn_num_iters = ctx.niters;
+    fn_stack_max = max_stack_depth code ex;
+    fn_params_unhinted =
+      List.for_all (fun p -> p.pi_hint = None) params;
     fn_body = code;
     fn_ex_table = ex;
-    fn_cls = cls }
+    fn_cls = cls;
+    fn_flat = FlatNone }
 
 (** Compile a whole program into a unit.  Performs the AST constant-folding
     pass first (the hphpc role), then emits every function and method. *)

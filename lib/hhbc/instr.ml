@@ -111,6 +111,17 @@ type param_info = {
   pi_default : cval option;
 }
 
+(** Flattened-code cache slot.  The VM interpreter lowers [fn_body] into a
+    per-function array of pre-bound handler closures (operands, jump
+    targets, costs and counter handles all resolved once) and caches the
+    result here.  The slot is an extensible variant so hhbc can carry the
+    cache without depending on the VM's closure types; [FlatNone] means
+    "not flattened".  Any pass that rewrites [fn_body] — in place or by
+    replacement — must call {!invalidate_flat}. *)
+type flat_cache = ..
+
+type flat_cache += FlatNone
+
 type func = {
   fn_id : int;
   fn_name : string;                (** "Cls::meth" for methods *)
@@ -118,10 +129,16 @@ type func = {
   fn_num_locals : int;
   fn_local_names : string array;   (** index -> name; temps get "@tN" *)
   fn_num_iters : int;
+  fn_stack_max : int;              (** static eval-stack bound (emit-time) *)
+  fn_params_unhinted : bool;       (** no param carries a type hint: binding
+                                       a full argument row is a plain blit *)
   mutable fn_body : t array;
   mutable fn_ex_table : ex_entry list;
   fn_cls : string option;          (** defining class name, for methods *)
+  mutable fn_flat : flat_cache;    (** VM-owned flattened-code cache *)
 }
+
+let invalidate_flat (f : func) = f.fn_flat <- FlatNone
 
 let is_terminal = function
   | Jmp _ | RetC | Throw | Fatal _ -> true
@@ -142,6 +159,78 @@ let can_throw = function
   | AssertRATL _ | AssertRATStk _ | IssetL _ | UnsetL _
   | SetL _ | PopL _ | PushL _ | CGetQuietL _ | IsTypeL _ -> false
   | _ -> true
+
+(** Net evaluation-stack effect (pushes minus pops) of one instruction. *)
+let stack_effect (i : t) : int =
+  match i with
+  | Int _ | Dbl _ | String _ | True | False | Null | NewArray -> 1
+  | AddNewElemC -> -1
+  | AddElemC -> -2
+  | CGetL _ | CGetQuietL _ | PushL _ | CGetL2 _ -> 1
+  | SetL _ | UnsetL _ -> 0
+  | PopL _ | PopC -> -1
+  | Dup | IncDecL _ | IssetL _ | IsTypeL _ -> 1
+  | Binop _ -> -1
+  | Not | Neg | BitNot | CastInt | CastDbl | CastString | CastBool
+  | InstanceOf _ -> 0
+  | Jmp _ -> 0
+  | JmpZ _ | JmpNZ _ -> -1
+  | RetC | Throw -> -1
+  | Fatal _ -> 0
+  | FCall (_, n) | FCallD (_, n) | FCallBuiltin (_, n) | NewObjD (_, n) ->
+    1 - n
+  | FCallM (_, n) -> -n            (* receiver + n args popped, result pushed *)
+  | This -> 1
+  | QueryM_Elem -> -1
+  | QueryM_Prop _ -> 0
+  | SetM_ElemL _ -> -1
+  | SetM_NewElemL _ -> 0
+  | UnsetM_ElemL _ -> -1
+  | SetM_Prop _ -> -1
+  | IncDecM_Prop _ -> 0
+  | IssetM_Elem -> -1
+  | IssetM_Prop _ -> 0
+  | Print -> -1
+  | IterInit _ -> -1
+  | IterKV _ | IterNext _ | IterFree _ -> 0
+  | AssertRATL _ | AssertRATStk _ | Nop -> 0
+
+(** Static evaluation-stack bound for a body: forward dataflow over stack
+    effects (branch targets carry the post-instruction depth; exception
+    handlers enter on an empty stack).  The interpreter sizes frame
+    stacks from this instead of a blanket worst case; hhbbc's rewrites
+    never deepen the stack (asserts are effect-free, jump rewrites only
+    redirect), so the bound computed at emit time stays valid. *)
+let max_stack_depth (code : t array) (ex : ex_entry list) : int =
+  let n = Array.length code in
+  if n = 0 then 0
+  else begin
+    let cap = n + 8 in          (* well-formed code never outgrows this *)
+    let depth = Array.make n (-1) in
+    let maxd = ref 0 in
+    let work = Queue.create () in
+    let visit pc d =
+      if pc >= 0 && pc < n && d > depth.(pc) then begin
+        depth.(pc) <- d;
+        Queue.add pc work
+      end
+    in
+    visit 0 0;
+    List.iter (fun e -> visit e.ex_handler 0) ex;
+    (try
+       while not (Queue.is_empty work) do
+         let pc = Queue.pop work in
+         let d = depth.(pc) in
+         let i = code.(pc) in
+         let d' = d + stack_effect i in
+         if d' > !maxd then maxd := d';
+         if !maxd > cap then raise Exit;
+         List.iter (fun t -> visit t d') (branch_targets i);
+         if not (is_terminal i) then visit (pc + 1) d'
+       done
+     with Exit -> maxd := cap);
+    !maxd
+  end
 
 (* --- dense opcode numbering (telemetry: per-opcode execution counters
    index an array by this id; no hashing on the interpreter hot path).

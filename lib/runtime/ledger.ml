@@ -49,6 +49,12 @@ let charge_jit n =
   a.a_cycles <- a.a_cycles + n;
   a.a_jit <- a.a_jit + n
 
+(** Like {!charge_interp_on} but for JIT execution: the SimCPU inner loop
+    resolves the domain-local account once per translation run. *)
+let charge_jit_on (a : acct) (n : int) =
+  a.a_cycles <- a.a_cycles + n;
+  a.a_jit <- a.a_jit + n
+
 let reset () =
   let a = acct () in
   a.a_cycles <- 0; a.a_interp <- 0; a.a_jit <- 0

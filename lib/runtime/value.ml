@@ -224,13 +224,16 @@ let rec strict_eq a b =
     end
   | _ -> false
 
-(** Relational comparison; defined on numbers and strings. *)
+(** Relational comparison; defined on numbers and strings.  The arms use
+    the monomorphic comparison primitives — same ordering as the generic
+    [compare], without the polymorphic-compare call on the hot int/int
+    shape. *)
 let compare_vals a b =
   match a, b with
-  | VInt x, VInt y -> compare x y
-  | VStr x, VStr y -> compare x.data y.data
+  | VInt x, VInt y -> if x < y then -1 else if x > y then 1 else 0
+  | VStr x, VStr y -> String.compare x.data y.data
   | (VInt _ | VDbl _ | VBool _ | VNull), (VInt _ | VDbl _ | VBool _ | VNull) ->
-    compare (to_dbl_val a) (to_dbl_val b)
+    Float.compare (to_dbl_val a) (to_dbl_val b)
   | _ ->
     fatal "unsupported comparison between %s and %s"
       (tag_name (tag_of_value a)) (tag_name (tag_of_value b))

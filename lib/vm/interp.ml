@@ -27,7 +27,23 @@ type frame = {
   mutable sp : int;                      (* next free slot *)
   mutable this_ : value;                 (* VObj or VNull; owned *)
   iters : iter_state array;
+  (* Threaded-dispatch activation state.  Folding these into the frame
+     (instead of a separate per-activation record plus ref cells) makes
+     an interpreted activation allocate nothing beyond the frame itself.
+     [acct] is (re)bound to the executing domain's ledger account each
+     time [run_threaded] enters the frame; [cyc_]/[icnt_] accrue cycles
+     and retired instructions between flushes; [ret_] receives the
+     result when a handler returns the -1 sentinel. *)
+  mutable acct : Runtime.Ledger.acct;
+  mutable pc_ : int;
+  mutable ret_ : value;
+  mutable cyc_ : int;
+  mutable icnt_ : int;
 }
+
+(* Placeholder account for freshly built frames: never charged — the
+   threaded loop rebinds [acct] to the real domain account on entry. *)
+let no_acct : Runtime.Ledger.acct = Runtime.Ledger.fresh ()
 
 (** Result of attempting to enter compiled code at a (frame, pc) point. *)
 type enter_result =
@@ -36,9 +52,15 @@ type enter_result =
   | Returned of value   (** machine code ran the function to completion *)
 
 (** Installed by the JIT engine: called at function entry and at jump
-    targets to transfer control into compiled code. *)
+    targets to transfer control into compiled code.  [hook_active] is
+    false whenever the installed hook is the constant [NoTranslation]
+    (interp-only engines, no engine at all): taken jumps then skip the
+    deref-and-call entirely.  The hook has no observable effect in that
+    configuration, so both dispatch modes may consult the flag. *)
 let translation_hook : (frame -> int -> enter_result) ref =
   ref (fun _ _ -> NoTranslation)
+
+let hook_active : bool ref = ref false
 
 (** Counts charged by interpreted execution only; used by Figure 9's
     "time in live vs optimized code" statistic.  Reset at engine install
@@ -54,13 +76,44 @@ let add_instr_count (n : int) =
   let c = Domain.DLS.get instr_count_key in
   c := !c + n
 
+(* Serializes flattening and interp-side counter registration: serving
+   domains may take a first call to the same function concurrently, and
+   the vmstats registry is a plain hashtable.  Build paths only — never
+   taken on the dispatch hot path once a function is flattened. *)
+let flat_mutex = Mutex.create ()
+
 (* Per-opcode execution counters ([interp.op.<Name>]), indexed by the
    dense opcode id — one array load + field bump per interpreted
-   instruction when stats are on, nothing else. *)
-let op_counters : Obs.Vmstats.counter array Lazy.t =
-  lazy
-    (Array.map (fun n -> Obs.Vmstats.counter ("interp.op." ^ n))
-       Hhbc.Instr.opcode_names)
+   instruction when stats are on, nothing else.  Registration is lazy
+   *per opcode*: a cell fills the first time flattened code (or the
+   legacy loop) needs that opcode's counter, instead of force-building
+   all 59 names up front.  Cells fill under [flat_mutex]; the handles
+   stay valid across vmstats resets (reset zeroes, it does not drop). *)
+let op_counter_cells : Obs.Vmstats.counter option array =
+  Array.make Hhbc.Instr.opcode_count None
+
+let op_counter (op : int) : Obs.Vmstats.counter =
+  match op_counter_cells.(op) with
+  | Some c -> c
+  | None ->
+    let c =
+      Obs.Vmstats.counter ("interp.op." ^ Hhbc.Instr.opcode_names.(op))
+    in
+    op_counter_cells.(op) <- Some c;
+    c
+
+(* Dense table for the legacy match loop, built (once) on demand. *)
+let op_counter_dense : Obs.Vmstats.counter array ref = ref [||]
+
+let op_counter_table () : Obs.Vmstats.counter array =
+  if Array.length !op_counter_dense > 0 then !op_counter_dense
+  else begin
+    Mutex.lock flat_mutex;
+    if Array.length !op_counter_dense = 0 then
+      op_counter_dense := Array.init Hhbc.Instr.opcode_count op_counter;
+    Mutex.unlock flat_mutex;
+    !op_counter_dense
+  end
 
 (* Register opcode names with the cycle-attribution profiler once, so
    per-opcode interp attribution renders symbolically (obs cannot depend
@@ -78,12 +131,33 @@ let call_dispatch :
   (Hhbc.Hunit.t -> int -> value array -> value -> value) ref =
   ref (fun _ _ _ _ -> assert false)
 
-(** Pop the top [n] stack values as an argument vector (ownership moves). *)
+(** Pop the top [n] stack values as an argument vector (ownership moves).
+    One- and two-argument calls — nearly every call — build the vector
+    with an inline allocation instead of the [Array.sub] C call. *)
 let take_args (fr : frame) (n : int) : value array =
-  let args = Array.init n (fun j -> fr.stack.(fr.sp - n + j)) in
-  for j = fr.sp - n to fr.sp - 1 do fr.stack.(j) <- VUninit done;
-  fr.sp <- fr.sp - n;
-  args
+  if n = 1 then begin
+    let sp = fr.sp - 1 in
+    let a = fr.stack.(sp) in
+    fr.stack.(sp) <- VUninit;
+    fr.sp <- sp;
+    [| a |]
+  end
+  else if n = 2 then begin
+    let sp = fr.sp - 2 in
+    let a = fr.stack.(sp) and b = fr.stack.(sp + 1) in
+    fr.stack.(sp) <- VUninit;
+    fr.stack.(sp + 1) <- VUninit;
+    fr.sp <- sp;
+    [| a; b |]
+  end
+  else if n = 0 then [||]
+  else begin
+    let base = fr.sp - n in
+    let args = Array.sub fr.stack base n in
+    Array.fill fr.stack base n VUninit;
+    fr.sp <- base;
+    args
+  end
 
 let push (fr : frame) (v : value) =
   fr.stack.(fr.sp) <- v;
@@ -97,30 +171,55 @@ let pop (fr : frame) : value =
 
 let top (fr : frame) : value = fr.stack.(fr.sp - 1)
 
+(* A constructor test, not [v = VUninit]: the latter is polymorphic
+   equality (an out-of-line C call) on this mixed variant. *)
+let is_uninit (v : value) = match v with VUninit -> true | _ -> false
+
 (* ------------------------------------------------------------------ *)
 (* Operator semantics (shared with JIT helpers)                        *)
 (* ------------------------------------------------------------------ *)
 
+(* The int/int fast paths below skip [to_num]'s polymorphic-variant
+   boxing (two short-lived allocations per arithmetic op otherwise), and
+   draw small results from a preallocated table — VInt is immutable and
+   uncounted, so sharing cells is invisible to programs and to the
+   refcount ledger, in either dispatch mode. *)
+
+let small_ints : value array = Array.init 512 (fun i -> VInt (i - 256))
+
+let vint (n : int) : value =
+  if n >= -256 && n < 256 then Array.unsafe_get small_ints (n + 256)
+  else VInt n
+
 let arith_add a b =
-  match to_num a, to_num b with
-  | `I x, `I y -> VInt (x + y)
-  | `I x, `D y -> VDbl (float_of_int x +. y)
-  | `D x, `I y -> VDbl (x +. float_of_int y)
-  | `D x, `D y -> VDbl (x +. y)
+  match a, b with
+  | VInt x, VInt y -> vint (x + y)
+  | _ ->
+    (match to_num a, to_num b with
+     | `I x, `I y -> VInt (x + y)
+     | `I x, `D y -> VDbl (float_of_int x +. y)
+     | `D x, `I y -> VDbl (x +. float_of_int y)
+     | `D x, `D y -> VDbl (x +. y))
 
 let arith_sub a b =
-  match to_num a, to_num b with
-  | `I x, `I y -> VInt (x - y)
-  | `I x, `D y -> VDbl (float_of_int x -. y)
-  | `D x, `I y -> VDbl (x -. float_of_int y)
-  | `D x, `D y -> VDbl (x -. y)
+  match a, b with
+  | VInt x, VInt y -> vint (x - y)
+  | _ ->
+    (match to_num a, to_num b with
+     | `I x, `I y -> VInt (x - y)
+     | `I x, `D y -> VDbl (float_of_int x -. y)
+     | `D x, `I y -> VDbl (x -. float_of_int y)
+     | `D x, `D y -> VDbl (x -. y))
 
 let arith_mul a b =
-  match to_num a, to_num b with
-  | `I x, `I y -> VInt (x * y)
-  | `I x, `D y -> VDbl (float_of_int x *. y)
-  | `D x, `I y -> VDbl (x *. float_of_int y)
-  | `D x, `D y -> VDbl (x *. y)
+  match a, b with
+  | VInt x, VInt y -> vint (x * y)
+  | _ ->
+    (match to_num a, to_num b with
+     | `I x, `I y -> VInt (x * y)
+     | `I x, `D y -> VDbl (float_of_int x *. y)
+     | `D x, `I y -> VDbl (x *. float_of_int y)
+     | `D x, `D y -> VDbl (x *. y))
 
 let arith_div a b =
   match to_num a, to_num b with
@@ -136,6 +235,14 @@ let arith_mod a b =
   if y = 0 then fatal "modulo by zero";
   VInt (x mod y)
 
+(* Preallocated boolean results: VBool is immutable and uncounted, so
+   every comparison can return the same two cells.  Shared by both
+   dispatch modes and the JIT helpers — structurally identical values
+   either way. *)
+let vtrue = VBool true
+let vfalse = VBool false
+let vbool b = if b then vtrue else vfalse
+
 (** Apply a binary operator; returns an owned result.  Operands borrowed. *)
 let binop_apply (op : binop) (a : value) (b : value) : value =
   match op with
@@ -147,19 +254,46 @@ let binop_apply (op : binop) (a : value) (b : value) : value =
   | OpConcat ->
     (* returns an owned counted string (rc = 1) *)
     Runtime.Heap.new_str (to_string_val a ^ to_string_val b)
-  | OpEq -> VBool (loose_eq a b)
-  | OpNeq -> VBool (not (loose_eq a b))
-  | OpSame -> VBool (strict_eq a b)
-  | OpNSame -> VBool (not (strict_eq a b))
-  | OpLt -> VBool (compare_vals a b < 0)
-  | OpLte -> VBool (compare_vals a b <= 0)
-  | OpGt -> VBool (compare_vals a b > 0)
-  | OpGte -> VBool (compare_vals a b >= 0)
+  | OpEq -> vbool (loose_eq a b)
+  | OpNeq -> vbool (not (loose_eq a b))
+  | OpSame -> vbool (strict_eq a b)
+  | OpNSame -> vbool (not (strict_eq a b))
+  | OpLt -> vbool (compare_vals a b < 0)
+  | OpLte -> vbool (compare_vals a b <= 0)
+  | OpGt -> vbool (compare_vals a b > 0)
+  | OpGte -> vbool (compare_vals a b >= 0)
   | OpBitAnd -> VInt (to_int_val a land to_int_val b)
   | OpBitOr -> VInt (to_int_val a lor to_int_val b)
   | OpBitXor -> VInt (to_int_val a lxor to_int_val b)
   | OpShl -> VInt (to_int_val a lsl (to_int_val b land 63))
   | OpShr -> VInt (to_int_val a asr (to_int_val b land 63))
+
+(** Resolve a binary operator to its semantic function once — the
+    flatten-time form of operand pre-resolution.  [binop_apply] keeps the
+    per-call match for the JIT helpers and the legacy loop; both routes
+    compute identical values. *)
+let binop_fn (op : binop) : value -> value -> value =
+  match op with
+  | OpAdd -> arith_add
+  | OpSub -> arith_sub
+  | OpMul -> arith_mul
+  | OpDiv -> arith_div
+  | OpMod -> arith_mod
+  | OpConcat ->
+    fun a b -> Runtime.Heap.new_str (to_string_val a ^ to_string_val b)
+  | OpEq -> fun a b -> vbool (loose_eq a b)
+  | OpNeq -> fun a b -> vbool (not (loose_eq a b))
+  | OpSame -> fun a b -> vbool (strict_eq a b)
+  | OpNSame -> fun a b -> vbool (not (strict_eq a b))
+  | OpLt -> fun a b -> vbool (compare_vals a b < 0)
+  | OpLte -> fun a b -> vbool (compare_vals a b <= 0)
+  | OpGt -> fun a b -> vbool (compare_vals a b > 0)
+  | OpGte -> fun a b -> vbool (compare_vals a b >= 0)
+  | OpBitAnd -> fun a b -> VInt (to_int_val a land to_int_val b)
+  | OpBitOr -> fun a b -> VInt (to_int_val a lor to_int_val b)
+  | OpBitXor -> fun a b -> VInt (to_int_val a lxor to_int_val b)
+  | OpShl -> fun a b -> VInt (to_int_val a lsl (to_int_val b land 63))
+  | OpShr -> fun a b -> VInt (to_int_val a asr (to_int_val b land 63))
 
 let incdec_apply (op : incdec_op) (old : value) : value (* new *) * value (* result *) =
   let nv =
@@ -177,6 +311,16 @@ let incdec_apply (op : incdec_op) (old : value) : value (* new *) * value (* res
 (* ------------------------------------------------------------------ *)
 
 let max_stack = 128
+
+(** Evaluation-stack slots to allocate for a frame of [f]: the emit-time
+    static bound plus a small margin (the JIT's inline-exit materializer
+    writes at bytecode depths, which the same bound covers), capped at
+    the historical worst case.  Sizing frames to the function — instead
+    of 128 slots each — is a large share of the interpreter's activation
+    cost for small functions. *)
+let frame_stack_size (f : func) : int =
+  let d = f.fn_stack_max + 4 in
+  if d < 1 then 1 else if d > max_stack then max_stack else d
 
 let check_hint (f : func) (p : param_info) (v : value) =
   match p.pi_hint with
@@ -196,20 +340,29 @@ let make_frame (u : Hhbc.Hunit.t) (f : func) (args : value array) (this_ : value
   if nargs > nparams then
     fatal "%s expects at most %d arguments, %d given" f.fn_name nparams nargs;
   let locals = Array.make (max f.fn_num_locals 1) VUninit in
-  Array.iteri
-    (fun i p ->
-       if i < nargs then begin
-         check_hint f p args.(i);
-         locals.(i) <- args.(i)
-       end else
-         match p.pi_default with
-         | Some c -> locals.(i) <- Hhbc.Hunit.materialize c
-         | None -> fatal "%s: missing argument $%s" f.fn_name p.pi_name)
-    f.fn_params;
+  (* Fast path for the overwhelmingly common shape — every parameter
+     supplied and none hinted — where binding degenerates to a blit.
+     The slow path below is the semantics of record. *)
+  if nargs = nparams && f.fn_params_unhinted then
+    Array.blit args 0 locals 0 nargs
+  else
+    Array.iteri
+      (fun i p ->
+         if i < nargs then begin
+           check_hint f p args.(i);
+           locals.(i) <- args.(i)
+         end else
+           match p.pi_default with
+           | Some c -> locals.(i) <- Hhbc.Hunit.materialize c
+           | None -> fatal "%s: missing argument $%s" f.fn_name p.pi_name)
+      f.fn_params;
   { func = f; unit_ = u; locals;
-    stack = Array.make max_stack VUninit; sp = 0;
-    this_; iters = Array.init (max f.fn_num_iters 1)
-               (fun _ -> { it_arr = None; it_pos = 0 }) }
+    stack = Array.make (frame_stack_size f) VUninit; sp = 0;
+    this_;
+    iters =
+      (if f.fn_num_iters = 0 then [||]
+       else Array.init f.fn_num_iters (fun _ -> { it_arr = None; it_pos = 0 }));
+    acct = no_acct; pc_ = 0; ret_ = VUninit; cyc_ = 0; icnt_ = 0 }
 
 let free_iter (it : iter_state) =
   match it.it_arr with
@@ -220,7 +373,11 @@ let free_iter (it : iter_state) =
 
 (** Release everything a frame owns (locals, stack, $this, iterators). *)
 let teardown (fr : frame) =
-  Array.iteri (fun i v -> Runtime.Heap.decref v; fr.locals.(i) <- VUninit) fr.locals;
+  let locals = fr.locals in
+  for i = 0 to Array.length locals - 1 do
+    Runtime.Heap.decref locals.(i);
+    locals.(i) <- VUninit
+  done;
   for i = 0 to fr.sp - 1 do
     Runtime.Heap.decref fr.stack.(i);
     fr.stack.(i) <- VUninit
@@ -228,7 +385,7 @@ let teardown (fr : frame) =
   fr.sp <- 0;
   Runtime.Heap.decref fr.this_;
   fr.this_ <- VNull;
-  Array.iter free_iter fr.iters
+  if Array.length fr.iters > 0 then Array.iter free_iter fr.iters
 
 (* ------------------------------------------------------------------ *)
 (* Object construction and method dispatch                             *)
@@ -354,9 +511,796 @@ let find_handler (fr : frame) (pc : int) (exn_v : value) : ex_entry option =
            | _ -> e.ex_class = "Exception"))
     fr.func.fn_ex_table
 
+(* ------------------------------------------------------------------ *)
+(* Flattened code: pre-resolved operands, closure-threaded dispatch    *)
+(* ------------------------------------------------------------------ *)
+
+(* The interpreter's raw-speed path (OCamlJIT-style, arXiv:1011.1783):
+   each function body is lowered once into a contiguous array of
+   pre-bound handler closures.  Operand local/iterator indices, constant
+   values, interned strings, direct-call targets, per-op costs and
+   counter handles are all resolved at flatten time; the dispatch loop
+   is `pc := code.(pc) st` with handlers returning the next pc.  Flat
+   pcs are bytecode pcs (the lowering is 1:1), so profiling counters,
+   method-cache keys, exception tables and OSR entry points are shared
+   unchanged with the legacy loop and the JIT. *)
+
+(** Dispatch-mode switch: [INTERP_THREADED=0] / [--no-interp-threaded]
+    selects the legacy match-on-variant loop for differential testing.
+    Resolved from the environment once at startup; tests may toggle it. *)
+let threaded_dispatch : bool ref =
+  ref (match Sys.getenv_opt "INTERP_THREADED" with
+       | Some ("0" | "false" | "off") -> false
+       | _ -> true)
+
+(** A pre-bound instruction handler: runs one bytecode against the
+    activation state (carried on the frame) and returns the next flat
+    pc, or -1 after stashing the function's result in [ret_].  Handlers
+    are built once per function and shared across domains, so anything
+    domain-local (the ledger account) or activation-local (the return
+    slot) must arrive through the frame rather than be captured in the
+    closure. *)
+type handler = frame -> int
+
+type flat = {
+  fl_epoch : int;                    (* stale if <> !flat_epoch *)
+  fl_code : handler array;           (* 1:1 with fn_body *)
+  fl_cost : int array;               (* pre-resolved Cost.instr_cost *)
+  fl_opid : int array;               (* dense opcode ids, per pc *)
+  mutable fl_ctrs : Obs.Vmstats.counter array;
+  (* per-pc counter handles; [||] until the first stats-on activation *)
+}
+
+type Hhbc.Instr.flat_cache += Flat of flat
+
+(* Unit-reload invalidation: class ids, function tables and resolved
+   direct-call targets all restart with a new unit, so a reload makes
+   every cached flat stale at once.  Bumped by [Loader.load]; in-place
+   bytecode rewrites (hhbbc passes) instead reset the per-function slot
+   via [Hhbc.Instr.invalidate_flat]. *)
+let flat_epoch = ref 0
+let bump_flat_epoch () = incr flat_epoch
+
+let c_flatten = Obs.Vmstats.counter "interp.flatten"
+
+(** Taken-jump handler: consult the JIT for a translation at the target
+    (where interpreted execution re-enters compiled code). *)
+let do_jump (fr : frame) (target : int) : int =
+  if not !hook_active then target
+  else
+    match !translation_hook fr target with
+    | NoTranslation -> target
+    | Resumed pc' -> pc'
+    | Returned v -> fr.ret_ <- v; -1
+
+(** Lower one instruction at [pc] of [f] into its pre-bound handler.
+    Every arm mirrors the legacy match arm exactly (same refcount
+    transfers, same evaluation order, same error messages); the only
+    differences are operands captured at flatten time.  Each handler
+    opens by accruing its own cost-model charge [c] — captured here as
+    an immediate, so the dispatch loop carries no per-op cost lookup;
+    the charge lands before the op's effects, exactly like the legacy
+    charge-then-execute order (a handler that raises has already
+    accrued, and the flush on the unwind path commits it). *)
+let mk_handler (f : func) (pc : int) (i : Hhbc.Instr.t) : handler =
+  let next = pc + 1 in
+  let c = Cost.instr_cost i in
+  match i with
+  | Int n -> let v = VInt n in fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr v; next
+  | Dbl d -> let v = VDbl d in fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr v; next
+  | String s ->
+    (* interned once here instead of per execution; a miss under a frozen
+       pool yields an unregistered static string, which is value-equal *)
+    let v = Hhbc.Hunit.intern s in
+    fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr v; next
+  | True -> fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr (VBool true); next
+  | False -> fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr (VBool false); next
+  | Null -> fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr VNull; next
+  | NewArray -> fun fr -> fr.cyc_ <- fr.cyc_ + c; push fr (Runtime.Heap.new_arr ()); next
+  | AddNewElemC ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      (match top fr with
+       | VArr node ->
+         let node' = Runtime.Varray.append node v in
+         fr.stack.(fr.sp - 1) <- VArr node';
+         next
+       | _ -> fatal "AddNewElemC on non-array")
+  | AddElemC ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let k = pop fr in
+      (match top fr with
+       | VArr node ->
+         let node' =
+           Runtime.Varray.set node (Runtime.Varray.key_of_value k) v
+         in
+         fr.stack.(fr.sp - 1) <- VArr node';
+         Runtime.Heap.decref k;
+         next
+       | _ -> fatal "AddElemC on non-array")
+  | CGetL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = fr.locals.(l) in
+      if is_uninit v then
+        fatal "undefined variable $%s" (Hhbc.Disasm.local_name f l);
+      Runtime.Heap.incref v;
+      push fr v;
+      next
+  | CGetQuietL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = fr.locals.(l) in
+      let v = if is_uninit v then VNull else v in
+      Runtime.Heap.incref v;
+      push fr v;
+      next
+  | CGetL2 l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let t = pop fr in
+      let v = fr.locals.(l) in
+      if is_uninit v then
+        fatal "undefined variable $%s" (Hhbc.Disasm.local_name f l);
+      Runtime.Heap.incref v;
+      push fr v;
+      push fr t;
+      next
+  | PushL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = fr.locals.(l) in
+      if is_uninit v then fatal "PushL of uninit local";
+      fr.locals.(l) <- VUninit;
+      push fr v;
+      next
+  | SetL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = top fr in
+      Runtime.Heap.incref v;
+      let old = fr.locals.(l) in
+      fr.locals.(l) <- v;
+      (* store before releasing: a destructor running here sees the
+         local already rebound (same order as compiled code) *)
+      Runtime.Heap.decref old;
+      next
+  | PopL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let old = fr.locals.(l) in
+      fr.locals.(l) <- v;
+      Runtime.Heap.decref old;
+      next
+  | PopC ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c; Runtime.Heap.decref (pop fr); next
+  | Dup ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = top fr in
+      Runtime.Heap.incref v;
+      push fr v;
+      next
+  | IncDecL (l, op) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let old = fr.locals.(l) in
+      let old = if is_uninit old then VNull else old in
+      let nv, result = incdec_apply op old in
+      fr.locals.(l) <- nv;
+      push fr result;
+      next
+  | IssetL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      push fr
+        (VBool
+           (match fr.locals.(l) with VUninit | VNull -> false | _ -> true));
+      next
+  | UnsetL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let old = fr.locals.(l) in
+      fr.locals.(l) <- VUninit;
+      Runtime.Heap.decref old;
+      next
+  | Binop op ->
+    let bf = binop_fn op in
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let b = pop fr in
+      let a = pop fr in
+      (* bf returns an owned value (never one of its operands) *)
+      let r = bf a b in
+      Runtime.Heap.decref a;
+      Runtime.Heap.decref b;
+      push fr r;
+      next
+  | Not ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (VBool (not (truthy v)));
+      Runtime.Heap.decref v;
+      next
+  | Neg ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      (match to_num v with
+       | `I i -> push fr (VInt (-i))
+       | `D d -> push fr (VDbl (-.d)));
+      Runtime.Heap.decref v;
+      next
+  | BitNot ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (VInt (lnot (to_int_val v)));
+      Runtime.Heap.decref v;
+      next
+  | CastInt ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (VInt (to_int_val v));
+      Runtime.Heap.decref v;
+      next
+  | CastDbl ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (VDbl (to_dbl_val v));
+      Runtime.Heap.decref v;
+      next
+  | CastBool ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (VBool (truthy v));
+      Runtime.Heap.decref v;
+      next
+  | CastString ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      push fr (Runtime.Heap.new_str (to_string_val v));
+      Runtime.Heap.decref v;
+      next
+  | InstanceOf cname ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let r =
+        match v with
+        | VObj o ->
+          Runtime.Vclass.instanceof (Runtime.Vclass.get o.data.cls) cname
+        | _ -> false
+      in
+      push fr (VBool r);
+      Runtime.Heap.decref v;
+      next
+  | IsTypeL (l, tag) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      push fr (VBool (tag_of_value fr.locals.(l) = tag));
+      next
+  | Jmp t -> fun fr -> fr.cyc_ <- fr.cyc_ + c; do_jump fr t
+  | JmpZ t ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let z = not (truthy v) in
+      Runtime.Heap.decref v;
+      if z then do_jump fr t else next
+  | JmpNZ t ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let nz = truthy v in
+      Runtime.Heap.decref v;
+      if nz then do_jump fr t else next
+  | RetC ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      teardown fr;
+      fr.ret_ <- v;
+      -1
+  | Throw ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c; raise (Php_exception (pop fr))
+  | Fatal m -> fun fr -> fr.cyc_ <- fr.cyc_ + c; fatal "%s" m
+  | FCall (fid, nargs) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let args = take_args fr nargs in
+      push fr (!call_dispatch fr.unit_ fid args VNull);
+      next
+  | FCallD (name, nargs) ->
+    (* late-bound direct call: the unit is only known at run time (the
+       func record does not point back at it), so resolve on first
+       execution and cache — all frames of this function share one unit,
+       and a concurrent resolve is idempotent.  -2 unresolved, -1
+       builtin, >=0 function id. *)
+    let resolved = ref (-2) in
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      if !resolved = -2 then
+        resolved :=
+          (match Hhbc.Hunit.find_func fr.unit_ name with
+           | Some fid -> fid
+           | None -> -1);
+      let fid = !resolved in
+      if fid >= 0 then begin
+        let args = take_args fr nargs in
+        push fr (!call_dispatch fr.unit_ fid args VNull);
+        next
+      end
+      else begin
+        let args = take_args fr nargs in
+        Runtime.Ledger.charge_interp_on fr.acct (Builtins.cost name args);
+        let r = Builtins.call name args in
+        Array.iter Runtime.Heap.decref args;
+        push fr r;
+        next
+      end
+  | FCallBuiltin (name, nargs) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let args = take_args fr nargs in
+      Runtime.Ledger.charge_interp_on fr.acct (Builtins.cost name args);
+      let r = Builtins.call name args in
+      Array.iter Runtime.Heap.decref args;
+      push fr r;
+      next
+  | FCallM (mname, nargs) ->
+    let fid = f.fn_id and body_len = Array.length f.fn_body in
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let args = take_args fr nargs in
+      let recv = pop fr in
+      let m =
+        match recv with
+        | VObj o when !dispatch_caches_enabled ->
+          let sc = meth_site_cache fid pc ~body_len in
+          (match sc.sc_meth with
+           | Some m when sc.sc_cls = o.data.cls ->
+             Obs.Vmstats.bump c_meth_hit;
+             m
+           | _ ->
+             Obs.Vmstats.bump c_meth_miss;
+             let m = lookup_method_for recv mname in
+             sc.sc_cls <- o.data.cls;
+             sc.sc_meth <- Some m;
+             m)
+        | _ -> lookup_method_for recv mname
+      in
+      push fr (!call_dispatch fr.unit_ m.m_func args recv);
+      next
+  | NewObjD (cname, nargs) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let args = take_args fr nargs in
+      push fr (new_object fr.unit_ cname args);
+      next
+  | This ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      (match fr.this_ with
+       | VObj _ as t -> Runtime.Heap.incref t; push fr t; next
+       | _ -> fatal "using $this outside of a method")
+  | QueryM_Elem ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let k = pop fr in
+      let base = pop fr in
+      (match base with
+       | VArr a ->
+         let v = Runtime.Varray.get a.data (Runtime.Varray.key_of_value k) in
+         Runtime.Heap.incref v;
+         push fr v;
+         Runtime.Heap.decref base;
+         Runtime.Heap.decref k;
+         next
+       | _ -> fatal "cannot index %s" (tag_name (tag_of_value base)))
+  | QueryM_Prop p ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let base = pop fr in
+      (match base with
+       | VObj o ->
+         let c = Runtime.Vclass.get o.data.cls in
+         (match Runtime.Vclass.prop_slot c p with
+          | Some slot ->
+            let v = o.data.props.(slot) in
+            Runtime.Heap.incref v;
+            push fr v;
+            Runtime.Heap.decref base;
+            next
+          | None -> fatal "undefined property %s::$%s" c.c_name p)
+       | _ -> fatal "property access on %s" (tag_name (tag_of_value base)))
+  | SetM_ElemL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let k = pop fr in
+      (match fr.locals.(l) with
+       | VArr node ->
+         Runtime.Heap.incref v;   (* the array's reference *)
+         let node' =
+           Runtime.Varray.set node (Runtime.Varray.key_of_value k) v
+         in
+         fr.locals.(l) <- VArr node';
+         Runtime.Heap.decref k;
+         push fr v;               (* expression result keeps our ref *)
+         next
+       | VUninit ->
+         (* auto-vivification: $a[k] = v on unset local creates an array *)
+         let node = Runtime.Heap.new_arr_node () in
+         Runtime.Heap.incref v;
+         let node' =
+           Runtime.Varray.set node (Runtime.Varray.key_of_value k) v
+         in
+         fr.locals.(l) <- VArr node';
+         Runtime.Heap.decref k;
+         push fr v;
+         next
+       | _ ->
+         fatal "cannot use %s as array" (tag_name (tag_of_value fr.locals.(l))))
+  | SetM_NewElemL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      (match fr.locals.(l) with
+       | VArr node ->
+         Runtime.Heap.incref v;
+         let node' = Runtime.Varray.append node v in
+         fr.locals.(l) <- VArr node';
+         push fr v;
+         next
+       | VUninit ->
+         let node = Runtime.Heap.new_arr_node () in
+         Runtime.Heap.incref v;
+         let node' = Runtime.Varray.append node v in
+         fr.locals.(l) <- VArr node';
+         push fr v;
+         next
+       | _ ->
+         fatal "cannot append to %s" (tag_name (tag_of_value fr.locals.(l))))
+  | UnsetM_ElemL l ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let k = pop fr in
+      (match fr.locals.(l) with
+       | VArr node ->
+         let node' =
+           Runtime.Varray.unset node (Runtime.Varray.key_of_value k)
+         in
+         fr.locals.(l) <- VArr node';
+         Runtime.Heap.decref k;
+         next
+       | VUninit -> Runtime.Heap.decref k; next
+       | _ -> fatal "cannot unset element of non-array")
+  | SetM_Prop p ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      let base = pop fr in
+      (match base with
+       | VObj o ->
+         let c = Runtime.Vclass.get o.data.cls in
+         (match Runtime.Vclass.prop_slot c p with
+          | Some slot ->
+            Runtime.Heap.incref v;
+            Runtime.Heap.decref o.data.props.(slot);
+            o.data.props.(slot) <- v;
+            Runtime.Heap.decref base;
+            push fr v;
+            next
+          | None -> fatal "undefined property %s::$%s" c.c_name p)
+       | _ -> fatal "property write on %s" (tag_name (tag_of_value base)))
+  | IncDecM_Prop (p, op) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let base = pop fr in
+      (match base with
+       | VObj o ->
+         let c = Runtime.Vclass.get o.data.cls in
+         (match Runtime.Vclass.prop_slot c p with
+          | Some slot ->
+            let old = o.data.props.(slot) in
+            let nv, result = incdec_apply op old in
+            o.data.props.(slot) <- nv;
+            push fr result;
+            Runtime.Heap.decref base;
+            next
+          | None -> fatal "undefined property %s::$%s" c.c_name p)
+       | _ -> fatal "property incdec on %s" (tag_name (tag_of_value base)))
+  | IssetM_Elem ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let k = pop fr in
+      let base = pop fr in
+      (match base with
+       | VArr a ->
+         let r =
+           match
+             Runtime.Varray.find_opt a.data (Runtime.Varray.key_of_value k)
+           with
+           | Some VNull | None -> false
+           | Some _ -> true
+         in
+         push fr (VBool r);
+         Runtime.Heap.decref base;
+         Runtime.Heap.decref k;
+         next
+       | _ ->
+         push fr (VBool false);
+         Runtime.Heap.decref base;
+         Runtime.Heap.decref k;
+         next)
+  | IssetM_Prop p ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let base = pop fr in
+      (match base with
+       | VObj o ->
+         let c = Runtime.Vclass.get o.data.cls in
+         let r =
+           match Runtime.Vclass.prop_slot c p with
+           | Some slot ->
+             (match o.data.props.(slot) with
+              | VNull | VUninit -> false
+              | _ -> true)
+           | None -> false
+         in
+         push fr (VBool r);
+         Runtime.Heap.decref base;
+         next
+       | _ ->
+         push fr (VBool false);
+         Runtime.Heap.decref base;
+         next)
+  | Print ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      Output.write (to_string_val v);
+      Runtime.Heap.decref v;
+      next
+  | IterInit (id, done_t) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let v = pop fr in
+      (match v with
+       | VArr node ->
+         if node.data.count = 0 then begin
+           Runtime.Heap.decref v;
+           (* no translation-hook consult here, same as the legacy loop:
+              the done-target is not an OSR entry point *)
+           done_t
+         end
+         else begin
+           let it = fr.iters.(id) in
+           it.it_arr <- Some node;  (* transfer our reference *)
+           it.it_pos <- 0;
+           next
+         end
+       | _ -> fatal "foreach over non-array %s" (tag_name (tag_of_value v)))
+  | IterKV (id, kloc, vloc) ->
+    (* key/value split resolved at flatten time: the no-key form pays no
+       option test per iteration *)
+    (match kloc with
+     | None ->
+       fun fr -> fr.cyc_ <- fr.cyc_ + c;
+         let it = fr.iters.(id) in
+         (match it.it_arr with
+          | Some node ->
+            let _, v = node.data.entries.(it.it_pos) in
+            Runtime.Heap.incref v;
+            let old = fr.locals.(vloc) in
+            fr.locals.(vloc) <- v;
+            Runtime.Heap.decref old;
+            next
+          | None -> fatal "IterKV on dead iterator")
+     | Some kl ->
+       fun fr -> fr.cyc_ <- fr.cyc_ + c;
+         let it = fr.iters.(id) in
+         (match it.it_arr with
+          | Some node ->
+            let k, v = node.data.entries.(it.it_pos) in
+            let kv =
+              match k with
+              | Runtime.Value.KInt i -> VInt i
+              | Runtime.Value.KStr s -> Hhbc.Hunit.intern s
+            in
+            let old = fr.locals.(kl) in
+            fr.locals.(kl) <- kv;
+            Runtime.Heap.decref old;
+            Runtime.Heap.incref v;
+            let old = fr.locals.(vloc) in
+            fr.locals.(vloc) <- v;
+            Runtime.Heap.decref old;
+            next
+          | None -> fatal "IterKV on dead iterator"))
+  | IterNext (id, loop_t) ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c;
+      let it = fr.iters.(id) in
+      (match it.it_arr with
+       | Some node ->
+         it.it_pos <- it.it_pos + 1;
+         if it.it_pos < node.data.count then do_jump fr loop_t
+         else begin free_iter it; next end
+       | None -> fatal "IterNext on dead iterator")
+  | IterFree id ->
+    fun fr -> fr.cyc_ <- fr.cyc_ + c; free_iter fr.iters.(id); next
+  | AssertRATL _ | AssertRATStk _ | Nop -> fun fr -> fr.cyc_ <- fr.cyc_ + c; next
+
+(** Lower a whole function body.  Flat pc = bytecode pc throughout. *)
+let flatten (f : func) : flat =
+  Obs.Vmstats.bump c_flatten;
+  let body = f.fn_body in
+  let n = Array.length body in
+  let dummy : handler = fun _ -> assert false in
+  let code = Array.make (max n 1) dummy in
+  for pc = 0 to n - 1 do
+    code.(pc) <- mk_handler f pc body.(pc)
+  done;
+  { fl_epoch = !flat_epoch;
+    fl_code = code;
+    fl_cost = Cost.costs_of_body body;
+    fl_opid = Array.map Hhbc.Instr.opcode_id body;
+    fl_ctrs = [||] }
+
+(** The function's flat form, building and caching it on first use.
+    Serving domains can race to a first call: the build is serialized
+    and idempotent (the fast path is a single field read + epoch check). *)
+let flat_of (f : func) : flat =
+  match f.fn_flat with
+  | Flat fl when fl.fl_epoch = !flat_epoch -> fl
+  | _ ->
+    Mutex.lock flat_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock flat_mutex)
+      (fun () ->
+         match f.fn_flat with
+         | Flat fl when fl.fl_epoch = !flat_epoch -> fl
+         | _ ->
+           let fl = flatten f in
+           f.fn_flat <- Flat fl;
+           fl)
+
+(** Per-pc counter handles for a stats-on activation, built once per
+    flat (and only for opcodes this function actually contains). *)
+let flat_ctrs (fl : flat) : Obs.Vmstats.counter array =
+  if Array.length fl.fl_ctrs > 0 || Array.length fl.fl_opid = 0 then
+    fl.fl_ctrs
+  else begin
+    Mutex.lock flat_mutex;
+    if Array.length fl.fl_ctrs = 0 then
+      fl.fl_ctrs <- Array.map op_counter fl.fl_opid;
+    Mutex.unlock flat_mutex;
+    fl.fl_ctrs
+  end
+
+(** Flatten every function of a unit eagerly (engine install): serving
+    workers then never contend on the flatten mutex mid-burst, and
+    first-request latency excludes lowering time. *)
+let preflatten (u : Hhbc.Hunit.t) : unit =
+  if !threaded_dispatch then
+    Array.iter (fun f -> ignore (flat_of f)) u.Hhbc.Hunit.functions
+
+(** Exception unwind shared by the threaded loop variants: either resets
+    [fr.pc_] to the matching handler (clearing the eval stack and
+    binding the exception local) or tears the frame down and re-raises.
+    On entry [fr.pc_] is still the faulting pc — handlers only advance
+    it by returning normally. *)
+let unwind_to_handler (fr : frame) (exn_v : value) : unit =
+  match find_handler fr fr.pc_ exn_v with
+  | Some e ->
+    (* clear the eval stack: mid-expression temporaries die here *)
+    for j = 0 to fr.sp - 1 do
+      Runtime.Heap.decref fr.stack.(j);
+      fr.stack.(j) <- VUninit
+    done;
+    fr.sp <- 0;
+    Runtime.Heap.decref fr.locals.(e.ex_local);
+    fr.locals.(e.ex_local) <- exn_v;   (* transfer *)
+    fr.pc_ <- e.ex_handler
+  | None ->
+    teardown fr;
+    raise (Php_exception exn_v)
+
+(* Cycles and retired instructions accumulate in activation-local frame
+   fields and flush to the per-domain ledger when the activation ends
+   (return, OSR-out, or an escaping exception).  Every external reader —
+   request boundaries, serving spans, the translation-span deltas taken
+   mid-activation — either observes the ledger between activations or
+   takes a delta across a window the unflushed balance is constant over,
+   so totals are bit-identical to per-op charging; nested calls flush
+   before returning to their caller.  Charges made directly by handlers
+   (builtin costs) commute with the flush. *)
+let flush_acct (fr : frame) =
+  if fr.icnt_ <> 0 then begin
+    Runtime.Ledger.charge_interp_on fr.acct fr.cyc_;
+    let ic = Domain.DLS.get instr_count_key in
+    ic := !ic + fr.icnt_;
+    fr.cyc_ <- 0;
+    fr.icnt_ <- 0
+  end
+
+(* The threaded loop variants live at toplevel (not as closures inside
+   [run_threaded]) so an activation allocates nothing beyond the frame.
+   The try sits outside the while loop (no trap push per dispatch); when
+   a handler throws, [fr.pc_] is still the faulting pc — handlers only
+   advance it by returning normally. *)
+
+(* production configuration: no per-op probes at all — the whole
+   dispatch is the retired-count bump and the handler call (handlers
+   accrue their own pre-bound cost) *)
+let rec exec_plain (code : handler array) (fr : frame) : unit =
+  try
+    while fr.pc_ >= 0 do
+      fr.icnt_ <- fr.icnt_ + 1;
+      fr.pc_ <- code.(fr.pc_) fr
+    done
+  with Php_exception exn_v ->
+    unwind_to_handler fr exn_v;
+    exec_plain code fr
+
+(* vmstats on, counters unsharded (the single-domain common case): the
+   enabled and shard switches are activation-invariant (they flip only
+   at quiescent points), so the per-op probe is a bare field increment
+   on the pre-resolved handle — no flag derefs per instruction *)
+let rec exec_stats (code : handler array)
+    (ctrs : Obs.Vmstats.counter array) (fr : frame) : unit =
+  try
+    while fr.pc_ >= 0 do
+      let i = fr.pc_ in
+      fr.icnt_ <- fr.icnt_ + 1;
+      let ct = ctrs.(i) in
+      ct.Obs.Vmstats.c_count <- ct.Obs.Vmstats.c_count + 1;
+      fr.pc_ <- code.(i) fr
+    done
+  with Php_exception exn_v ->
+    unwind_to_handler fr exn_v;
+    exec_stats code ctrs fr
+
+(* vmstats on with per-domain shards (parallel serving): bumps must go
+   through the sharded slow path so worker counts merge losslessly *)
+let rec exec_stats_sharded (code : handler array)
+    (ctrs : Obs.Vmstats.counter array) (fr : frame) : unit =
+  try
+    while fr.pc_ >= 0 do
+      let i = fr.pc_ in
+      fr.icnt_ <- fr.icnt_ + 1;
+      Obs.Vmstats.bump ctrs.(i);
+      fr.pc_ <- code.(i) fr
+    done
+  with Php_exception exn_v ->
+    unwind_to_handler fr exn_v;
+    exec_stats_sharded code ctrs fr
+
+(* profiler on: per-opcode cycle attribution, plus counters if also on.
+   [fl_cost] is read here only to attribute the charge per opcode — the
+   accrual itself still happens inside the handler. *)
+let rec exec_prof (fl : flat) (p : Obs.Profiler.state) (stats_on : bool)
+    (ctrs : Obs.Vmstats.counter array) (fr : frame) : unit =
+  try
+    while fr.pc_ >= 0 do
+      let i = fr.pc_ in
+      fr.icnt_ <- fr.icnt_ + 1;
+      if stats_on then Obs.Vmstats.bump ctrs.(i);
+      Obs.Profiler.op_charge p fl.fl_opid.(i) fl.fl_cost.(i);
+      fr.pc_ <- fl.fl_code.(i) fr
+    done
+  with Php_exception exn_v ->
+    unwind_to_handler fr exn_v;
+    exec_prof fl p stats_on ctrs fr
+
 (** Interpret [fr] starting at [start_pc] until the function returns.
     Consults the JIT at taken-jump targets (OSR entry points). *)
 let rec run (fr : frame) (start_pc : int) : value =
+  if !threaded_dispatch then run_threaded fr start_pc
+  else run_match fr start_pc
+
+(** The closure-threaded dispatch loop over the function's flat form.
+    The loop variant is chosen once per activation from the vmstats and
+    profiler switches, so a probes-off run pays zero option tests,
+    counter bumps or cost-model matches per op — just the accrual and
+    the handler call. *)
+and run_threaded (fr : frame) (start_pc : int) : value =
+  let fl = flat_of fr.func in
+  fr.acct <- Runtime.Ledger.acct ();
+  fr.pc_ <- start_pc;
+  fr.ret_ <- VUninit;
+  (* cyc_/icnt_ are zero here: zero at construction, re-zeroed by every
+     flush — including the one on the exception path *)
+  let stats_on = Obs.Vmstats.on () in
+  let prof_on = Obs.Profiler.on () in
+  (try
+     if not (stats_on || prof_on) then
+       exec_plain fl.fl_code fr
+     else begin
+       let ctrs = if stats_on then flat_ctrs fl else [||] in
+       if prof_on then
+         exec_prof fl (Obs.Profiler.local ()) stats_on ctrs fr
+       else if !Obs.Vmstats.shards_active then
+         exec_stats_sharded fl.fl_code ctrs fr
+       else
+         exec_stats fl.fl_code ctrs fr
+     end
+   with e ->
+     flush_acct fr;
+     raise e);
+  flush_acct fr;
+  fr.ret_
+
+(** The legacy match-on-variant loop, kept verbatim behind
+    [INTERP_THREADED=0] as the differential-testing baseline. *)
+and run_match (fr : frame) (start_pc : int) : value =
   let code = fr.func.fn_body in
   let icount = Domain.DLS.get instr_count_key in
   (* Per-activation hoists of the per-instruction probe plumbing: the
@@ -367,7 +1311,7 @@ let rec run (fr : frame) (start_pc : int) : value =
      resolve them once here instead of on every dispatch. *)
   let acct = Runtime.Ledger.acct () in
   let stats_on = Obs.Vmstats.on () in
-  let ops = if stats_on then Lazy.force op_counters else [||] in
+  let ops = if stats_on then op_counter_table () else [||] in
   (* per-opcode cycle attribution (Obs.Profiler): like the probes above,
      the enabled check and the domain-local state are hoisted out of the
      dispatch loop — a profiler-off run pays one option test per
@@ -417,25 +1361,25 @@ let rec run (fr : frame) (start_pc : int) : value =
           | _ -> fatal "AddElemC on non-array")
        | CGetL l ->
          let v = fr.locals.(l) in
-         if v = VUninit then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
+         if is_uninit v then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
          Runtime.Heap.incref v;
          push fr v
        | CGetQuietL l ->
          let v = fr.locals.(l) in
-         let v = if v = VUninit then VNull else v in
+         let v = if is_uninit v then VNull else v in
          Runtime.Heap.incref v;
          push fr v
        | CGetL2 l ->
          (* push local *under* the current top *)
          let t = pop fr in
          let v = fr.locals.(l) in
-         if v = VUninit then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
+         if is_uninit v then fatal "undefined variable $%s" (Hhbc.Disasm.local_name fr.func l);
          Runtime.Heap.incref v;
          push fr v;
          push fr t
        | PushL l ->
          let v = fr.locals.(l) in
-         if v = VUninit then fatal "PushL of uninit local";
+         if is_uninit v then fatal "PushL of uninit local";
          fr.locals.(l) <- VUninit;
          push fr v
        | SetL l ->
@@ -458,7 +1402,7 @@ let rec run (fr : frame) (start_pc : int) : value =
          push fr v
        | IncDecL (l, op) ->
          let old = fr.locals.(l) in
-         let old = if old = VUninit then VNull else old in
+         let old = if is_uninit old then VNull else old in
          let nv, result = incdec_apply op old in
          fr.locals.(l) <- nv;
          push fr result
@@ -783,10 +1727,9 @@ and call_interpreted (u : Hhbc.Hunit.t) (fid : int) (args : value array)
     (this_ : value) : value =
   let f = Hhbc.Hunit.func u fid in
   let fr = make_frame u f args this_ in
-  (try run fr 0
-   with Php_exception e ->
-     (* frame was torn down by [run]'s unwinder *)
-     raise (Php_exception e))
+  (* an escaping Php_exception propagates with the frame already torn
+     down by [run]'s unwinder *)
+  run fr 0
 
 let () = call_dispatch := call_interpreted
 

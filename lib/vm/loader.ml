@@ -84,6 +84,9 @@ let load ?(reset = true) ?(with_prelude = true) (src : string) : Hhbc.Hunit.t =
   (* dispatch caches key on (fid, pc) and class ids, both of which restart
      from 0 for a new unit — always drop them, even when [reset] is false *)
   Interp.reset_meth_site_caches ();
+  (* flattened code caches resolved direct-call targets and interned
+     constants: a reload makes every old unit's flat form stale at once *)
+  Interp.bump_flat_epoch ();
   if reset then begin
     Runtime.Heap.reset ();
     Runtime.Ledger.reset ();
@@ -93,7 +96,8 @@ let load ?(reset = true) ?(with_prelude = true) (src : string) : Hhbc.Hunit.t =
     Interp.call_dispatch := Interp.call_interpreted;
     Interp.dispatch_caches_enabled := true;
     (* a previously installed JIT engine must not leak into the new unit *)
-    Interp.translation_hook := (fun _ _ -> Interp.NoTranslation)
+    Interp.translation_hook := (fun _ _ -> Interp.NoTranslation);
+    Interp.hook_active := false
   end;
   let src = if with_prelude then prelude ^ "\n" ^ src else src in
   let u = Hhbc.Emit.compile src in

@@ -4,7 +4,9 @@
 #     the serving report contracts to emit,
 #   - the profiler's sum invariant: the folded profile's total_cycles
 #     must equal the report's total_cycles exactly (every serving cycle
-#     is attributed somewhere; the residual bucket guarantees it).
+#     is attributed somewhere; the residual bucket guarantees it),
+#   - the interpreter-regression gate: pipeline/interp fib(12) must stay
+#     under 130us and within 15% of the best figure recorded in the file.
 # The emitter never puts braces inside JSON strings, so plain grep/awk
 # is sufficient — no JSON parser dependency.
 set -euo pipefail
@@ -62,7 +64,44 @@ if [ -n "$mismatch" ]; then
   fail=1
 fi
 
+# Interpreter-regression gate: the threaded-dispatch rebuild (DESIGN.md
+# §11) put `pipeline/interp fib(12)` at ~120us; hold the line at 130us
+# absolute, and within 15% of the best figure recorded anywhere in the
+# file (baseline or current) so a creeping regression fails even while
+# still under the absolute cap.
+interp_gate=$(awk '
+  match($0, /"pipeline\/interp fib\(12\)": [0-9.]+/) {
+    s = substr($0, RSTART, RLENGTH)
+    sub(/.*: /, "", s)
+    v = s + 0
+    if (best == 0 || v < best) best = v
+    last = v
+  }
+  END {
+    if (last == 0)             { print "missing"; exit }
+    if (last > 130000)         { printf "abs %.0f > 130000 ns\n", last; exit }
+    if (last > best * 1.15)    { printf "drift %.0f > 1.15 x best %.0f ns\n", last, best; exit }
+    print "ok"
+  }
+' "$json")
+case "$interp_gate" in
+  ok) ;;
+  missing)
+    echo "ERROR: $json lacks the pipeline/interp fib(12) micro"
+    fail=1 ;;
+  *)
+    echo "ERROR: interp fib(12) regression gate failed ($interp_gate)"
+    fail=1 ;;
+esac
+
+for key in 'pipeline/interp fib(20)' 'pipeline/interp strarr(200)'; do
+  if ! grep -qF "\"$key\"" "$json"; then
+    echo "ERROR: $json lacks the $key micro"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "check_bench_json OK: serving_report keys present, profile sum ties out"
+echo "check_bench_json OK: serving_report keys present, profile sum ties out, interp gate holds"

@@ -13,4 +13,5 @@ let () =
       Test_obs.suite;
       Test_parallel.suite;
       Test_spans.suite;
+      Test_threaded.suite;
     ]

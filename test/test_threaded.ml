@@ -1,0 +1,267 @@
+(** Differential parity suite for the flattened (closure-threaded)
+    interpreter dispatch loop.
+
+    Every observable — program output, aggregate output hash, simulated
+    cycle ledger, retired-instruction count, per-opcode vmstats counters,
+    heap audit — must be bit-identical between the threaded loop and the
+    legacy match-on-variant loop, for any (jit mode x worker count)
+    combination, and across flat-code invalidation (in-place bytecode
+    rewrites, unit reloads, retranslate-all mid-burst). *)
+
+let with_dispatch (threaded : bool) (f : unit -> 'a) : 'a =
+  let old = !Vm.Interp.threaded_dispatch in
+  Vm.Interp.threaded_dispatch := threaded;
+  Fun.protect ~finally:(fun () -> Vm.Interp.threaded_dispatch := old) f
+
+(* ---- Synthetic programs exercising distinct interpreter surfaces ---- *)
+
+(* deep recursion + mutual recursion: call/return, arith, compare *)
+let prog_recursion = {|
+  function fib($n) { if ($n < 2) { return $n; } return fib($n - 1) + fib($n - 2); }
+  function even($n) { if ($n == 0) { return true; } return odd($n - 1); }
+  function odd($n) { if ($n == 0) { return false; } return even($n - 1); }
+  function main() {
+    echo fib(15), "|";
+    echo even(10) ? "E" : "o";
+    echo odd(7) ? "O" : "e";
+  }
+|}
+
+(* string/array churn: appends, foreach (keyed and plain), dict writes,
+   concat, builtins — the refcount-heavy shapes *)
+let prog_strings_arrays = {|
+  function main() {
+    $a = [];
+    for ($i = 0; $i < 50; $i++) { $a[] = $i * $i; }
+    $s = 0;
+    foreach ($a as $k => $v) { $s = $s + $v - $k; }
+    $words = ["alpha", "beta", "gamma", "delta"];
+    $t = "";
+    foreach ($words as $w) { $t = $t . substr($w, 0, 2) . "-"; }
+    $m = [];
+    $m["x"] = 1;
+    $m["y"] = 2;
+    $m["x"] = $m["x"] + 10;
+    echo $s, "|", $t, "|", strlen($t), "|", count($a), "|", $m["x"] + $m["y"];
+  }
+|}
+
+(* exceptions across frames, catch-class selection, unwinding through
+   loops — the non-local control flow paths *)
+let prog_exceptions = {|
+  function risky($n) {
+    if ($n % 3 == 0) { throw new RuntimeException("m" . $n); }
+    return $n * 2;
+  }
+  function main() {
+    $total = 0;
+    $caught = 0;
+    for ($i = 1; $i <= 12; $i++) {
+      try { $total = $total + risky($i); }
+      catch (RuntimeException $e) { $caught = $caught + 1; echo $e->getMessage(), ";"; }
+    }
+    echo "|", $total, "|", $caught;
+    try {
+      try { throw new InvalidArgumentException("inner"); }
+      catch (RuntimeException $e) { echo "wrong"; }
+    } catch (Exception $e) { echo "|outer:", $e->getMessage(); }
+  }
+|}
+
+let programs =
+  [ ("recursion", prog_recursion);
+    ("strings-arrays", prog_strings_arrays);
+    ("exceptions", prog_exceptions) ]
+
+(* Run a program start to finish in the current dispatch mode and return
+   (output, ledger cycles, retired instrs); assert a clean heap. *)
+let run_measured (src : string) : string * int * int =
+  let u = Vm.Loader.load src in
+  let c0 = Runtime.Ledger.read () in
+  let i0 = Vm.Interp.instr_count () in
+  let r, out =
+    Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" [])
+  in
+  Runtime.Heap.decref r;
+  let cycles = Runtime.Ledger.read () - c0 in
+  let instrs = Vm.Interp.instr_count () - i0 in
+  Alcotest.(check (list string))
+    "no leaked heap objects" [] (Runtime.Heap.live_allocations ());
+  (out, cycles, instrs)
+
+let test_program_parity () =
+  List.iter
+    (fun (name, src) ->
+       let out_t, cyc_t, ins_t = with_dispatch true (fun () -> run_measured src) in
+       let out_m, cyc_m, ins_m = with_dispatch false (fun () -> run_measured src) in
+       Alcotest.(check string) (name ^ ": output") out_m out_t;
+       Alcotest.(check int) (name ^ ": ledger cycles") cyc_m cyc_t;
+       Alcotest.(check int) (name ^ ": retired instrs") ins_m ins_t;
+       Alcotest.(check bool) (name ^ ": did some work") true (ins_t > 0))
+    programs
+
+(* Per-opcode vmstats counters must agree exactly: the threaded loop bumps
+   pre-resolved handles from the flat opcode table, the legacy loop goes
+   through the lazy per-op registration — same names, same counts. *)
+let test_op_counter_parity () =
+  let op_counts (threaded : bool) (src : string) : int array =
+    with_dispatch threaded (fun () ->
+        let was = !Obs.Vmstats.enabled in
+        Obs.Vmstats.enabled := true;
+        Fun.protect ~finally:(fun () -> Obs.Vmstats.enabled := was)
+          (fun () ->
+             let u = Vm.Loader.load src in
+             let before =
+               Array.map
+                 (fun n -> (Obs.Vmstats.counter ("interp.op." ^ n)).Obs.Vmstats.c_count)
+                 Hhbc.Instr.opcode_names
+             in
+             let r, _ =
+               Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" [])
+             in
+             Runtime.Heap.decref r;
+             Array.mapi
+               (fun i n ->
+                  (Obs.Vmstats.counter ("interp.op." ^ n)).Obs.Vmstats.c_count
+                  - before.(i))
+               Hhbc.Instr.opcode_names))
+  in
+  List.iter
+    (fun (name, src) ->
+       let t = op_counts true src in
+       let m = op_counts false src in
+       Alcotest.(check (array int)) (name ^ ": per-opcode counters") m t;
+       Alcotest.(check bool) (name ^ ": counted some ops") true
+         (Array.exists (fun c -> c > 0) t))
+    programs
+
+(* Perflab in pure-interpreter mode: the whole request mix runs through
+   whichever dispatch loop is selected; hash and weighted cycles must
+   agree to the bit. *)
+let test_perflab_parity () =
+  let measure threaded =
+    with_dispatch threaded (fun () -> Server.Perflab.run Core.Jit_options.Interp)
+  in
+  let rt = measure true in
+  let rm = measure false in
+  Alcotest.(check int) "perflab interp: output hash"
+    rm.Server.Perflab.r_output_hash rt.Server.Perflab.r_output_hash;
+  Alcotest.(check (float 0.0)) "perflab interp: weighted cycles"
+    rm.Server.Perflab.r_weighted rt.Server.Perflab.r_weighted
+
+(* ---- Serving parity: (dispatch mode) x (worker count) x (jit mode) ---- *)
+
+let check_serving_equal what (r1 : Server.Serving.result)
+    (r2 : Server.Serving.result) ~cycles =
+  Alcotest.(check (array string)) (what ^ ": per-request outputs")
+    r1.Server.Serving.sv_outputs r2.Server.Serving.sv_outputs;
+  Alcotest.(check int) (what ^ ": output hash")
+    r1.Server.Serving.sv_output_hash r2.Server.Serving.sv_output_hash;
+  (* per-request cycle attribution is schedule-dependent under a JIT with
+     lazy translation, so only compare it where the caller knows the
+     translation state is identical *)
+  if cycles then
+    Alcotest.(check (array int)) (what ^ ": per-request cycles")
+      r1.Server.Serving.sv_cycles r2.Server.Serving.sv_cycles
+
+let test_serving_parity_region () =
+  let run threaded workers ?trigger_at () =
+    with_dispatch threaded (fun () ->
+        Test_parallel.serving_run ?trigger_at workers)
+  in
+  let ref_ = run false 1 () in
+  check_serving_equal "region serving, threaded @ 1 worker" ref_
+    (run true 1 ()) ~cycles:true;
+  check_serving_equal "region serving, threaded @ 4 workers" ref_
+    (run true 4 ()) ~cycles:false;
+  check_serving_equal "region serving, legacy @ 4 workers" ref_
+    (run false 4 ()) ~cycles:false;
+  (* full retranslate-all firing mid-burst: flat code for lazily
+     rebuilt translations must stay coherent in both dispatch modes *)
+  let n = Array.length (Server.Serving.mix ~rounds:6 ()) in
+  let ref_tr = run false 1 ~trigger_at:(n / 3) () in
+  check_serving_equal "retranslate mid-burst, threaded @ 4 workers" ref_tr
+    (run true 4 ~trigger_at:(n / 3) ()) ~cycles:false
+
+let test_serving_parity_interp () =
+  (* pure interpreter: no lazy translation, so per-request cycles are
+     schedule-independent and must match at any worker count *)
+  let run threaded workers =
+    with_dispatch threaded (fun () ->
+        Test_parallel.serving_run ~mode:Core.Jit_options.Interp workers)
+  in
+  let ref_ = run false 1 in
+  check_serving_equal "interp serving, threaded @ 1 worker" ref_
+    (run true 1) ~cycles:true;
+  check_serving_equal "interp serving, threaded @ 4 workers" ref_
+    (run true 4) ~cycles:true;
+  check_serving_equal "interp serving, legacy @ 4 workers" ref_
+    (run false 4) ~cycles:true
+
+(* ---- Flat-code invalidation ---- *)
+
+(* In-place bytecode rewrite: run once (flat code cached), let hhbbc
+   rewrite function bodies in place (which calls [invalidate_flat]), run
+   again — the second run must re-flatten and agree with a fresh load
+   that had the rewrite applied before any execution. *)
+let test_invalidation_bytecode_rewrite () =
+  with_dispatch true (fun () ->
+      let src = prog_strings_arrays in
+      let run_main u =
+        let r, out =
+          Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" [])
+        in
+        Runtime.Heap.decref r;
+        out
+      in
+      let u = Vm.Loader.load src in
+      let out_before = run_main u in
+      ignore (Hhbbc.Assert_insert.run u);
+      ignore (Hhbbc.Bc_opt.run u);
+      let out_after = run_main u in
+      Alcotest.(check string) "output stable across in-place rewrite"
+        out_before out_after;
+      (* fresh reference: rewrite first, then run *)
+      let u2 = Vm.Loader.load src in
+      ignore (Hhbbc.Assert_insert.run u2);
+      ignore (Hhbbc.Bc_opt.run u2);
+      Alcotest.(check string) "matches fresh post-rewrite load"
+        out_before (run_main u2))
+
+(* Unit reload: loading a new unit bumps the global flat epoch; stale
+   flat code (interned constants, resolved call targets from the old
+   unit) must never leak into the new unit's execution. *)
+let test_invalidation_unit_reload () =
+  with_dispatch true (fun () ->
+      let go src =
+        let u = Vm.Loader.load src in
+        let r, out =
+          Vm.Output.capture (fun () -> Vm.Interp.call_by_name u "main" [])
+        in
+        Runtime.Heap.decref r;
+        out
+      in
+      let a1 = go prog_recursion in
+      let b1 = go prog_exceptions in
+      let a2 = go prog_recursion in
+      let b2 = go prog_exceptions in
+      Alcotest.(check string) "reload run 1 = run 2 (recursion)" a1 a2;
+      Alcotest.(check string) "reload run 1 = run 2 (exceptions)" b1 b2)
+
+let suite =
+  ( "threaded-dispatch",
+    [
+      Alcotest.test_case "program parity (out/cycles/instrs)" `Quick
+        test_program_parity;
+      Alcotest.test_case "per-opcode counter parity" `Quick
+        test_op_counter_parity;
+      Alcotest.test_case "perflab interp parity" `Slow test_perflab_parity;
+      Alcotest.test_case "serving parity: region x workers" `Slow
+        test_serving_parity_region;
+      Alcotest.test_case "serving parity: interp x workers" `Slow
+        test_serving_parity_interp;
+      Alcotest.test_case "invalidation: in-place bytecode rewrite" `Quick
+        test_invalidation_bytecode_rewrite;
+      Alcotest.test_case "invalidation: unit reload" `Quick
+        test_invalidation_unit_reload;
+    ] )
