@@ -526,6 +526,76 @@ let print_serving (samples : serving_sample list) (deterministic : bool) =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Startup: cold vs jumpstarted requests-to-steady-state (§6.2)        *)
+(* ------------------------------------------------------------------ *)
+
+let startup_metrics_json (m : Server.Startup.startup_metrics) : string =
+  Printf.sprintf
+    "{ \"requests_to_steady\": %d, \"first_window_pct\": %.1f, \
+     \"point_a_min\": %.2f, \"point_b_min\": %.2f, \"point_c_min\": %.2f, \
+     \"prof_translations\": %d, \"opt_translations\": %d, \
+     \"retranslate_runs\": %d, \"main_code_kb\": %d, \"output_hash\": %d }"
+    m.Server.Startup.su_requests_to_steady m.Server.Startup.su_first_window_pct
+    m.Server.Startup.su_point_a_min m.Server.Startup.su_point_b_min
+    m.Server.Startup.su_point_c_min m.Server.Startup.su_prof_translations
+    m.Server.Startup.su_opt_translations m.Server.Startup.su_retranslate_runs
+    m.Server.Startup.su_main_code_kb m.Server.Startup.su_output_hash
+
+let startup_json (r : Server.Startup.startup_report) : string =
+  Printf.sprintf
+    "{\n    \"cold\": %s,\n    \"jumpstart\": %s,\n    \
+     \"delta_requests\": %d,\n    \"hash_match\": %b,\n    \
+     \"image_bytes\": %d\n  }"
+    (startup_metrics_json r.Server.Startup.sr_cold)
+    (startup_metrics_json r.Server.Startup.sr_jump)
+    r.Server.Startup.sr_delta_requests r.Server.Startup.sr_hash_match
+    r.Server.Startup.sr_image_bytes
+
+let print_startup (r : Server.Startup.startup_report) =
+  let row name (m : Server.Startup.startup_metrics) =
+    Printf.printf
+      "%-10s %10d %10.1f%% %6.2f %6.2f %6.2f %6d %5d %6d %9d\n"
+      name m.Server.Startup.su_requests_to_steady
+      m.Server.Startup.su_first_window_pct m.Server.Startup.su_point_a_min
+      m.Server.Startup.su_point_b_min m.Server.Startup.su_point_c_min
+      m.Server.Startup.su_prof_translations
+      m.Server.Startup.su_opt_translations
+      m.Server.Startup.su_retranslate_runs
+      m.Server.Startup.su_main_code_kb
+  in
+  Printf.printf "%-10s %10s %11s %6s %6s %6s %6s %5s %6s %9s\n"
+    "start" "to-steady" "win0 rps" "A" "B" "C" "prof" "opt" "retr"
+    "main KB";
+  row "cold" r.Server.Startup.sr_cold;
+  row "jumpstart" r.Server.Startup.sr_jump;
+  Printf.printf
+    "\njumpstart reaches steady state %d requests earlier (cold %d -> %d)\n"
+    r.Server.Startup.sr_delta_requests
+    r.Server.Startup.sr_cold.Server.Startup.su_requests_to_steady
+    r.Server.Startup.sr_jump.Server.Startup.su_requests_to_steady;
+  Printf.printf "output hash identical cold vs jumpstarted: %b\n"
+    r.Server.Startup.sr_hash_match;
+  Printf.printf "jumpstart image: %d bytes\n"
+    r.Server.Startup.sr_image_bytes;
+  if not r.Server.Startup.sr_hash_match then begin
+    prerr_endline "ERROR: output hash diverges between cold and jumpstarted runs";
+    exit 1
+  end;
+  if r.Server.Startup.sr_jump.Server.Startup.su_prof_translations <> 0
+  || r.Server.Startup.sr_jump.Server.Startup.su_retranslate_runs <> 0
+  then begin
+    prerr_endline
+      "ERROR: jumpstarted run still profiled or retranslated (warmup not skipped)";
+    exit 1
+  end
+
+let startup () =
+  hdr "Startup: requests to steady state, cold vs jumpstarted (§6.2)"
+    "jumpstart serializes profile data + TC metadata so restarted servers \
+     skip the warmup cliff";
+  print_startup (Server.Startup.measure_startup ())
+
 (** The deterministic serving report behind the json target: fresh
     engine, standard warmup and retranslate-all (steady state), then
     [Serving.measure] over the mix with a second retranslate-all fired
@@ -613,6 +683,8 @@ let json () =
   let serving_samples, serving_deterministic = serving_sweep ~reps in
   (* the deterministic serving report (spans + percentiles + profile) *)
   let serving_report = measure_serving_report () in
+  (* startup: cold vs jumpstarted requests-to-steady-state (§6.2) *)
+  let startup_rep = Server.Startup.measure_startup () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
   Buffer.add_string current "{\n  \"modes\": {\n";
@@ -655,7 +727,9 @@ let json () =
           serving_samples));
   Buffer.add_string current
     (Printf.sprintf ",\n    \"deterministic\": %b\n" serving_deterministic);
-  Buffer.add_string current "  },\n  \"serving_report\": ";
+  Buffer.add_string current "  },\n  \"startup\": ";
+  Buffer.add_string current (startup_json startup_rep);
+  Buffer.add_string current ",\n  \"serving_report\": ";
   Buffer.add_string current serving_report;
   Buffer.add_string current ",\n  \"vmstats\": ";
   Buffer.add_string current vmstats_json;
@@ -707,7 +781,18 @@ let json () =
     serving_deterministic;
   Printf.printf "serving report: %d bytes of JSON embedded\n"
     (String.length serving_report);
+  Printf.printf
+    "startup: cold steady after %d requests, jumpstarted after %d \
+     (delta %d), hash match %b\n"
+    startup_rep.Server.Startup.sr_cold.Server.Startup.su_requests_to_steady
+    startup_rep.Server.Startup.sr_jump.Server.Startup.su_requests_to_steady
+    startup_rep.Server.Startup.sr_delta_requests
+    startup_rep.Server.Startup.sr_hash_match;
   Printf.printf "differential hash match: %b\n" hash_match;
+  if not startup_rep.Server.Startup.sr_hash_match then begin
+    prerr_endline "ERROR: output hash diverges between cold and jumpstarted runs";
+    exit 1
+  end;
   if not hash_match then begin
     prerr_endline "ERROR: output hash mismatch across execution modes";
     exit 1
@@ -814,6 +899,7 @@ let ablate () =
     [ 4; 8 ]
 
 let () =
+  Core.Jit_options.bootstrap ();
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match what with
    | "fig8" -> fig8 ()
@@ -825,14 +911,16 @@ let () =
    | "ablate" -> ablate ()
    | "vmstats" -> vmstats ()
    | "serving" -> serving ()
+   | "startup" -> startup ()
    | "json" -> json ()
    | "all" ->
      fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate ();
-     vmstats (); serving (); micro ()
+     vmstats (); serving (); startup (); micro ()
    | other ->
      Printf.eprintf
        "unknown target %S \
-        (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|serving|micro|json|all)\n"
+        (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|serving|startup|\
+         micro|json|all)\n"
        other;
      exit 1);
   line ()

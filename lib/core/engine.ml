@@ -85,6 +85,10 @@ type t = {
   mutable opt_bytes : int;
   mutable compile_count : int;
   mutable sort_cache : sort_cache option;
+  (* the last optimized publish sequence (retranslate-all or jumpstart
+     adoption), prepared + placed forms aligned in publish order: the
+     capture source for jumpstart images (§6.2) *)
+  mutable last_opt : (Translation.prepared * int * Translation.t) array;
   (* the epoch parallel-serving domains dispatch against; swapped with a
      single atomic store by [publish_epoch] *)
   published : epoch Atomic.t;
@@ -1100,17 +1104,20 @@ let retranslate_all_locked (eng : t) : int =
   (* publish phase: serial, in task (C3) order — every global id below is
      assigned here, independent of which worker compiled what when *)
   let count = ref 0 in
+  let placed = ref [] in
   Array.iter
     (List.iter
-       (fun pr ->
+       (fun ((p, nb) as pr) ->
           match finish_translation eng pr with
           | Some tr ->
             publish eng tr;
             eng.n_optimized <- eng.n_optimized + 1;
             eng.opt_bytes <- eng.opt_bytes + tr.tr_bytes;
+            placed := (p, nb, tr) :: !placed;
             incr count
           | None -> ()))
     prepared;
+  eng.last_opt <- Array.of_list (List.rev !placed);
   eng.optimized_published <- true;
   (* map the hot section onto huge pages (§5.1.2) *)
   let lo, hi = Simcpu.Codecache.main_range eng.cache in
@@ -1148,6 +1155,109 @@ let retranslate_all (eng : t) : int =
     (fun () -> retranslate_all_locked eng)
 
 (* ------------------------------------------------------------------ *)
+(* Jumpstart: capture and adopt optimized TC images (§6.2)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Capture the warmed engine's state as a jumpstart image: the canonical
+    profile, the TransCFG registry, and the optimized publish sequence
+    with its current-generation link state.  [None] until a
+    retranslate-all has published optimized code. *)
+let capture_image (eng : t) : Jumpstart.image option =
+  if not eng.optimized_published || Array.length eng.last_opt = 0 then None
+  else begin
+    let idx = Hashtbl.create 64 in
+    Array.iteri
+      (fun i (_, _, (tr : Translation.t)) ->
+         Hashtbl.replace idx tr.Translation.tr_id i)
+      eng.last_opt;
+    (* links smashed in the current generation between optimized
+       translations, as publish-order index quadruples (translation ids
+       and entry pointers don't survive a process boundary; publish
+       indices do) *)
+    let links = ref [] in
+    Array.iteri
+      (fun si (_, _, (src : Translation.t)) ->
+         Array.iteri
+           (fun eid (lk : Translation.link) ->
+              if lk.Translation.lk_gen = eng.generation then
+                match lk.Translation.lk_target with
+                | Some (dst, en) ->
+                  (match Hashtbl.find_opt idx dst.Translation.tr_id with
+                   | Some di ->
+                     let entries = dst.Translation.tr_entries in
+                     let ei = ref (-1) in
+                     Array.iteri
+                       (fun j e -> if !ei < 0 && e == en then ei := j)
+                       entries;
+                     if !ei >= 0 then links := (si, eid, di, !ei) :: !links
+                   | None -> ())
+                | None -> ())
+           src.Translation.tr_links)
+      eng.last_opt;
+    Some { Jumpstart.im_prof = Vm.Prof.export ();
+           im_tcfg = Region.Transcfg.export ();
+           im_next_block_id = !Region.Select.next_block_id;
+           im_trans = Array.map (fun (p, nb, _) -> (p, nb)) eng.last_opt;
+           im_links = Array.of_list (List.rev !links);
+           im_opt_bytes = eng.opt_bytes }
+  end
+
+(** Adopt a deserialized jumpstart image into a freshly installed engine:
+    import the profile and TransCFG, then replay the image's publish
+    sequence through the normal serial publish path — code-cache offsets,
+    translation ids, inline-cache ids and the epoch come out exactly as a
+    live retranslate-all would have assigned them, but no region is
+    formed, no HHIR is built, and [retranslate.runs] stays at zero.  The
+    engine lands in the optimized phase: no profiling translation will
+    ever be compiled. *)
+let adopt_image (eng : t) (im : Jumpstart.image) : unit =
+  Vm.Prof.import im.Jumpstart.im_prof;
+  Region.Transcfg.import im.Jumpstart.im_tcfg;
+  Region.Select.next_block_id :=
+    max !Region.Select.next_block_id im.Jumpstart.im_next_block_id;
+  eng.phase <- POptimized;
+  eng.generation <- eng.generation + 1;
+  eng.trans <- fresh_trans eng.hunit;
+  eng.nocompile <- fresh_nocompile eng.hunit;
+  let placed = ref [] in
+  Array.iter
+    (fun ((p : Translation.prepared), nb) ->
+       match finish_translation eng (p, nb) with
+       | Some tr ->
+         publish eng tr;
+         eng.n_optimized <- eng.n_optimized + 1;
+         eng.opt_bytes <- eng.opt_bytes + tr.Translation.tr_bytes;
+         placed := (p, nb, tr) :: !placed
+       | None -> ())
+    im.Jumpstart.im_trans;
+  let placed = Array.of_list (List.rev !placed) in
+  eng.last_opt <- placed;
+  (* re-smash the captured bind jumps at this engine's generation *)
+  Array.iter
+    (fun (si, eid, di, ei) ->
+       if si < Array.length placed && di < Array.length placed then begin
+         let _, _, src = placed.(si) and _, _, dst = placed.(di) in
+         if eid < Array.length src.Translation.tr_links
+         && ei < Array.length dst.Translation.tr_entries then begin
+           let lk = src.Translation.tr_links.(eid) in
+           lk.Translation.lk_target <-
+             Some (dst, dst.Translation.tr_entries.(ei));
+           lk.Translation.lk_gen <- eng.generation
+         end
+       end)
+    im.Jumpstart.im_links;
+  eng.optimized_published <- true;
+  let lo, hi = Simcpu.Codecache.main_range eng.cache in
+  Simcpu.Itlb.set_huge eng.machine.itlb ~enabled:eng.opts.huge_pages ~lo ~hi;
+  if Obs.Trace.on Obs.Trace.Retranslate then
+    Obs.Trace.emit Obs.Trace.Retranslate
+      [ ("event", Obs.Trace.S "jumpstart_adopt");
+        ("generation", Obs.Trace.I eng.generation);
+        ("optimized", Obs.Trace.I (Array.length placed));
+        ("links", Obs.Trace.I (Array.length im.Jumpstart.im_links)) ];
+  publish_epoch eng
+
+(* ------------------------------------------------------------------ *)
 (* Call dispatch and installation                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1165,10 +1275,11 @@ let call_func (eng : t) (u : Hhbc.Hunit.t) (fid : int) (args : value array)
     engine (call dispatcher + translation hook). *)
 let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
   let opts = match opts with Some o -> o | None -> Jit_options.default () in
-  (* one config-resolution step: environment fallbacks (JIT_TRACE,
-     JIT_TRACE_OUT, JIT_STATS) fold into [opts] here, once — nothing on
-     the dispatch path reads the environment *)
-  Jit_options.resolve_env opts;
+  (* the one config-resolution step: flags > env > defaults fold into
+     [opts] here, once — nothing on the dispatch path reads the
+     environment (see Jit_options.resolve; idempotent on a record shared
+     across installs) *)
+  Jit_options.resolve opts;
   Obs.Vmstats.enabled := opts.stats;
   Obs.Vmstats.reset ();
   Obs.Trace.configure ~spec:opts.trace ?path:opts.trace_out ();
@@ -1199,6 +1310,7 @@ let install ?(opts : Jit_options.t option) (u : Hhbc.Hunit.t) : t =
     n_live = 0; n_profiling = 0; n_optimized = 0;
     opt_bytes = 0; compile_count = 0;
     sort_cache = None;
+    last_opt = [||];
     published = Atomic.make empty_epoch;
   } in
   current := Some eng;

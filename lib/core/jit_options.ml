@@ -1,6 +1,20 @@
 (** JIT configuration: one knob per optimization the paper evaluates
     (Fig. 10) plus the execution-mode selector (Fig. 8) and the code-size
-    budget (Fig. 11). *)
+    budget (Fig. 11).
+
+    {b Resolution model.}  A [t] is a builder: callers set explicit fields
+    (CLI flags), then [Engine.install] runs {!resolve} exactly once, which
+    folds every environment fallback into the record and freezes it.  The
+    precedence at every knob is
+
+      explicit flag  >  environment variable  >  built-in default
+
+    — an explicit setting is anything that moved a field off its
+    0/None/unset sentinel before [resolve] ran.  Nothing on the dispatch
+    path reads the environment; the one process-global knob that predates
+    engine install (the interpreter dispatch-loop selector, historically a
+    raw [Sys.getenv_opt "INTERP_THREADED"] inside [Vm.Interp]) is applied
+    by {!bootstrap}, which binaries call once at startup. *)
 
 type mode =
   | Interp        (** bytecode interpreter only *)
@@ -80,6 +94,16 @@ type t = {
      Outputs stay bit-identical for any worker count ([LAZY_TRANSLATE=0]
      turns it off, restoring the PR 4 frozen-miss-interprets behavior). *)
   mutable lazy_translate : bool;
+  (* interpreter dispatch-loop selector ([--no-interp-threaded] /
+     [INTERP_THREADED=0]): [None] leaves the process-wide mode alone
+     (whatever {!bootstrap} resolved from the environment, or a direct
+     toggle from a differential test); [Some b] is an explicit request
+     applied at resolve time. *)
+  mutable interp_threaded : bool option;
+  (* set by {!resolve}; a resolved record is frozen — re-resolving is a
+     no-op, so one record can be shared across installs (e.g. a steady-
+     state measurement followed by the startup run that reuses it). *)
+  mutable resolved : bool;
 }
 
 let default () : t = {
@@ -112,14 +136,40 @@ let default () : t = {
   jit_workers = 0;
   request_workers = 0;
   lazy_translate = true;
+  interp_threaded = None;
+  resolved = false;
 }
 
-(** The single config-resolution step for environment knobs, run once at
-    engine install.  Explicit settings (CLI flags) win: [JIT_TRACE] (a
-    category spec; the legacy "1" means all categories) and
-    [JIT_TRACE_OUT] only apply when the corresponding field is still
-    unset, and [JIT_STATS=0] acts as a stats kill-switch. *)
-let resolve_env (t : t) : unit =
+let env_off (name : string) : bool =
+  match Sys.getenv_opt name with
+  | Some ("0" | "false" | "off") -> true
+  | _ -> false
+
+(** One-time process bootstrap for knobs that predate any engine install.
+    [INTERP_THREADED=0] selects the legacy match-on-variant interpreter
+    loop for the whole process; binaries (hhvm_run, bench, the test
+    runner) call this once from [main], before any code interprets.
+    Differential tests toggle [Vm.Interp.threaded_dispatch] directly
+    afterwards — {!resolve} never re-reads this environment variable, so
+    such toggles survive engine installs. *)
+let bootstrap () : unit =
+  if env_off "INTERP_THREADED" then Vm.Interp.threaded_dispatch := false
+
+(** The single config-resolution step, run once at engine install:
+    environment fallbacks fold into [t] with explicit settings winning
+    (see the precedence note on {!type:t}), 0-sentinels resolve to
+    concrete values, and the record freezes.  [JIT_TRACE] is a category
+    spec (the legacy "1" means all categories); [JIT_STATS=0] acts as a
+    stats kill-switch.  An already-resolved record is returned as is. *)
+let resolve (t : t) : unit =
+  if not t.resolved then begin
+  t.resolved <- true;
+  (* explicit dispatch-loop request (flag beats env: bootstrap applied the
+     env to the ref before any engine existed, and an unset option leaves
+     the current process-wide mode untouched) *)
+  (match t.interp_threaded with
+   | Some b -> Vm.Interp.threaded_dispatch := b
+   | None -> ());
   (match t.trace, Sys.getenv_opt "JIT_TRACE" with
    | None, (Some _ as e) -> t.trace <- e
    | _ -> ());
@@ -155,9 +205,11 @@ let resolve_env (t : t) : unit =
       | None -> ())
    | _ -> ());
   if t.request_workers <= 0 then t.request_workers <- 1;
-  (match Sys.getenv_opt "LAZY_TRANSLATE" with
-   | Some ("0" | "false" | "off") -> t.lazy_translate <- false
-   | _ -> ())
+  if env_off "LAZY_TRANSLATE" then t.lazy_translate <- false
+  end
+
+(** Deprecated alias for {!resolve} (the historical name). *)
+let resolve_env = resolve
 
 (** Disable every profile-guided optimization except region formation and
     partial inlining — the paper's "All PGO" experiment (§6.3). *)

@@ -72,6 +72,54 @@ let record_arc ~(src : int) ~(dst : int) =
     incr r;
     last_arc := Some (key, r)
 
+(* --- serialization (jumpstart, paper §6.2) --- *)
+
+(** A self-contained copy of the registry: blocks in registration order
+    (block ids are allocated at selection time and registration follows
+    immediately, so ascending id order {e is} registration order — the
+    order [build] reconstructs for region formation), plus the arc table
+    as (packed key, weight) pairs.  [Rdesc.block] is plain data, so the
+    export is Marshal-safe. *)
+type export = {
+  ex_blocks : Rdesc.block array;       (* ascending b_id *)
+  ex_arcs : (int * int) array;         (* packed arc key, weight *)
+}
+
+let export () : export =
+  let blocks =
+    Hashtbl.fold (fun _ b acc -> b :: acc) blocks_by_id []
+    |> List.sort (fun (a : Rdesc.block) b -> compare a.b_id b.b_id)
+    |> Array.of_list
+  in
+  let ex_arcs =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) arcs []
+    |> List.sort compare
+    |> Array.of_list
+  in
+  { ex_blocks = blocks; ex_arcs }
+
+(** Rebuild the registry from a deserialized export (fresh-process
+    jumpstart, after the installing [reset]).  Registration order is
+    replayed block by block so [build]'s node order — and therefore
+    region formation — matches the dumping process exactly. *)
+let import (e : export) : unit =
+  reset ();
+  Array.iter
+    (fun (b : Rdesc.block) ->
+       Hashtbl.replace blocks_by_id b.b_id b;
+       let lst =
+         match Hashtbl.find_opt blocks_by_func b.b_func with
+         | Some l -> l
+         | None ->
+           let l = ref [] in
+           Hashtbl.replace blocks_by_func b.b_func l;
+           l
+       in
+       lst := b :: !lst)
+    e.ex_blocks;
+  Array.iter (fun (k, w) -> Hashtbl.replace arcs k (ref w)) e.ex_arcs;
+  incr version_
+
 let block (id : int) : Rdesc.block = Hashtbl.find blocks_by_id id
 
 let block_weight (b : Rdesc.block) : int =

@@ -525,13 +525,13 @@ let find_handler (fr : frame) (pc : int) (exn_v : value) : ex_entry option =
    method-cache keys, exception tables and OSR entry points are shared
    unchanged with the legacy loop and the JIT. *)
 
-(** Dispatch-mode switch: [INTERP_THREADED=0] / [--no-interp-threaded]
-    selects the legacy match-on-variant loop for differential testing.
-    Resolved from the environment once at startup; tests may toggle it. *)
-let threaded_dispatch : bool ref =
-  ref (match Sys.getenv_opt "INTERP_THREADED" with
-       | Some ("0" | "false" | "off") -> false
-       | _ -> true)
+(** Dispatch-mode switch: the legacy match-on-variant loop vs the
+    flattened closure-threaded one, for differential testing.  The
+    interpreter itself never reads the environment: [INTERP_THREADED=0]
+    is resolved by [Core.Jit_options.bootstrap] (once, at process start)
+    and [--no-interp-threaded] by [Core.Jit_options.resolve]; tests may
+    toggle the ref directly. *)
+let threaded_dispatch : bool ref = ref true
 
 (** A pre-bound instruction handler: runs one bytecode against the
     activation state (carried on the frame) and returns the next flat

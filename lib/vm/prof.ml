@@ -274,6 +274,34 @@ let merge_pending () =
       merge_into main_ctx ~bump_version:true pending;
       clear_ctx pending)
 
+(* --- serialization (jumpstart, paper §6.2) --- *)
+
+(** A self-contained copy of the canonical profile.  The [ctx] record is
+    plain data (arrays, hashtables, ints — no closures), so an export is
+    Marshal-safe; it is a deep copy, so later profiling in this process
+    cannot leak into a saved image. *)
+type export = {
+  ex_ctx : ctx;
+  ex_n_counters : int;
+}
+
+let export () : export =
+  let c = fresh_ctx () in
+  merge_into c ~bump_version:false main_ctx;
+  { ex_ctx = c; ex_n_counters = Atomic.get n_counters }
+
+(** Replace the canonical profile with a deserialized export (fresh-
+    process jumpstart; the engine install that precedes adoption has
+    already [reset] it).  The counter-id allocator resumes past the
+    imported ids, and the structural version bumps so any cached derived
+    structure (C3 tables) rebuilds against the imported shape. *)
+let import (e : export) : unit =
+  clear_ctx main_ctx;
+  merge_into main_ctx ~bump_version:false e.ex_ctx;
+  if e.ex_n_counters > 0 then ensure_counter main_ctx (e.ex_n_counters - 1);
+  Atomic.set n_counters e.ex_n_counters;
+  incr version_
+
 let reset () =
   incr version_;
   clear_ctx main_ctx;

@@ -6,7 +6,11 @@
 #     must equal the report's total_cycles exactly (every serving cycle
 #     is attributed somewhere; the residual bucket guarantees it),
 #   - the interpreter-regression gate: pipeline/interp fib(12) must stay
-#     under 130us and within 15% of the best figure recorded in the file.
+#     under 130us and within 15% of the best figure recorded in the file,
+#   - the startup section (cold vs jumpstart): every requests-to-steady /
+#     translation-count key present, the jumpstarted run profiled and
+#     retranslated exactly zero times, it reached steady state strictly
+#     earlier than the cold run, and the output hashes match.
 # The emitter never puts braces inside JSON strings, so plain grep/awk
 # is sufficient — no JSON parser dependency.
 set -euo pipefail
@@ -101,7 +105,54 @@ for key in 'pipeline/interp fib(20)' 'pipeline/interp strarr(200)'; do
   fi
 done
 
+# Startup section: key presence + the cold-vs-jumpstart sanity invariant.
+require '"startup"'            'the startup section'
+for key in requests_to_steady first_window_pct prof_translations \
+           opt_translations retranslate_runs delta_requests hash_match \
+           image_bytes; do
+  require "\"$key\"" "startup key $key"
+done
+startup_gate=$(awk '
+  /"startup"/ { in_startup = 1 }
+  in_startup && /"cold"/ {
+    if (match($0, /"requests_to_steady": [0-9]+/))
+      cold_steady = substr($0, RSTART + 22, RLENGTH - 22) + 0
+    if (match($0, /"retranslate_runs": [0-9]+/))
+      cold_retr = substr($0, RSTART + 20, RLENGTH - 20) + 0
+  }
+  in_startup && /"jumpstart"/ {
+    if (match($0, /"requests_to_steady": [0-9]+/))
+      jump_steady = substr($0, RSTART + 22, RLENGTH - 22) + 0
+    if (match($0, /"prof_translations": [0-9]+/))
+      jump_prof = substr($0, RSTART + 21, RLENGTH - 21) + 0
+    if (match($0, /"retranslate_runs": [0-9]+/))
+      jump_retr = substr($0, RSTART + 20, RLENGTH - 20) + 0
+    seen_jump = 1
+  }
+  in_startup && /"hash_match"/ {
+    hash_ok = ($0 ~ /"hash_match": true/)
+    # first startup object (the current section fills in after baseline);
+    # one complete section is enough to gate on
+    if (seen_jump) { done = 1; in_startup = 0 }
+  }
+  END {
+    if (!done)                    { print "missing startup fields"; exit }
+    if (!hash_ok)                 { print "hash_match is not true"; exit }
+    if (jump_prof != 0)           { printf "jumpstart profiled %d times\n", jump_prof; exit }
+    if (jump_retr != 0)           { printf "jumpstart retranslated %d times\n", jump_retr; exit }
+    if (cold_retr < 1)            { print "cold run never retranslated"; exit }
+    if (jump_steady >= cold_steady) {
+      printf "jumpstart steady (%d) not earlier than cold (%d)\n", jump_steady, cold_steady; exit
+    }
+    print "ok"
+  }
+' "$json")
+if [ "$startup_gate" != "ok" ]; then
+  echo "ERROR: startup cold-vs-jumpstart gate failed ($startup_gate)"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "check_bench_json OK: serving_report keys present, profile sum ties out, interp gate holds"
+echo "check_bench_json OK: serving_report keys present, profile sum ties out, interp gate holds, startup cold-vs-jumpstart invariant holds"

@@ -17,10 +17,17 @@
 #      in-burst translation path through the same 4x4 sweep (nonzero on
 #      hash divergence), and the bench JSON's `serving` section must
 #      carry the per-burst miss/fallback counters,
-#   6. serving-report validation: check_bench_json.sh asserts the
-#      serving_report section carries every percentile/phase/profile key
-#      and that the folded profile's cycle total equals the report's
-#      total serving cycles exactly.
+#   6. jumpstart smoke: `hhvm_run warmup --dump` writes an image in one
+#      process, `hhvm_run serve --jumpstart` adopts it in a fresh one,
+#      and the jumpstarted run must serve with ZERO profiling
+#      translations and ZERO retranslate-alls while its output hash is
+#      bit-identical to the cold-started run's,
+#   7. serving-report + startup validation: check_bench_json.sh asserts
+#      the serving_report section carries every percentile/phase/profile
+#      key, that the folded profile's cycle total equals the report's
+#      total serving cycles exactly, and that the startup section shows
+#      the jumpstarted process reaching steady state strictly earlier
+#      than the cold one with a matching output hash.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,7 +70,45 @@ for key in translation_miss interp_fallback; do
   fi
 done
 
-echo "== serving report validation =="
+echo "== jumpstart smoke (warmup dump -> fresh-process restore) =="
+img=$(mktemp /tmp/jumpstart.XXXXXX.img)
+trap 'rm -f "$img"' EXIT
+dune exec bin/hhvm_run.exe -- warmup --dump "$img"
+cold=$(dune exec bin/hhvm_run.exe -- serve)
+jump=$(dune exec bin/hhvm_run.exe -- serve --jumpstart "$img")
+echo "$cold"; echo "$jump"
+cold_hash=$(echo "$cold" | sed -n 's/.*output hash \(-*[0-9]*\).*/\1/p')
+jump_hash=$(echo "$jump" | sed -n 's/.*output hash \(-*[0-9]*\).*/\1/p')
+if [ -z "$cold_hash" ] || [ "$cold_hash" != "$jump_hash" ]; then
+  echo "ERROR: jumpstarted output hash ($jump_hash) != cold hash ($cold_hash)"
+  exit 1
+fi
+if ! echo "$jump" | grep -q "jumpstarted from"; then
+  echo "ERROR: serve --jumpstart fell back to a cold start"
+  exit 1
+fi
+if ! echo "$jump" | grep -q "0 profiling"; then
+  echo "ERROR: jumpstarted process still made profiling translations"
+  exit 1
+fi
+if ! echo "$jump" | grep -q "retranslate runs 0"; then
+  echo "ERROR: jumpstarted process still ran retranslate-all"
+  exit 1
+fi
+# graceful degradation: a corrupt image must log, cold-start, and serve
+echo "garbage" > "$img"
+degraded=$(dune exec bin/hhvm_run.exe -- serve --jumpstart "$img" 2>&1)
+if ! echo "$degraded" | grep -q "falling back to cold start"; then
+  echo "ERROR: corrupt jumpstart image did not degrade to a cold start"
+  exit 1
+fi
+deg_hash=$(echo "$degraded" | sed -n 's/.*output hash \(-*[0-9]*\).*/\1/p')
+if [ "$deg_hash" != "$cold_hash" ]; then
+  echo "ERROR: degraded cold start served wrong output ($deg_hash != $cold_hash)"
+  exit 1
+fi
+
+echo "== serving report + startup validation =="
 ./scripts/check_bench_json.sh
 
 echo "CI OK"

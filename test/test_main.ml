@@ -1,4 +1,5 @@
 let () =
+  Core.Jit_options.bootstrap ();
   Alcotest.run "hhvm_jit"
     [
       Test_runtime.suite;
@@ -14,4 +15,5 @@ let () =
       Test_parallel.suite;
       Test_spans.suite;
       Test_threaded.suite;
+      Test_jumpstart.suite;
     ]
