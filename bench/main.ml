@@ -629,6 +629,295 @@ let measure_serving_report () : string =
   let m = Server.Serving.measure ~trigger u eng requests in
   Server.Serving.report_json requests m
 
+(* ------------------------------------------------------------------ *)
+(* TC lifecycle: liveness-driven eviction + Main compaction under a    *)
+(* shifting request mix (§6.4's budget pressure, made continuous)      *)
+(* ------------------------------------------------------------------ *)
+
+type lifecycle_sample = {
+  tl_budget : int;              (* code-size cap the scenario ran under *)
+  tl_opt_translations : int;    (* published optimized translations at peak *)
+  tl_evicted : int;
+  tl_evicted_bytes : int;
+  tl_holes_before : int;        (* dead bytes diluting Main+Cold pre-compact *)
+  tl_holes_after : int;         (* must be 0: compaction closes every hole *)
+  tl_reclaimed : int;           (* bytes the compaction returned to the pool *)
+  tl_counted_before : int;      (* budget-counted bytes around the compaction *)
+  tl_counted_after : int;
+  tl_main_before : int;         (* Main-section extent around the compaction *)
+  tl_main_after : int;
+  tl_icache_before : int;       (* burst i-cache misses on the holey cache *)
+  tl_icache_after : int;        (* same burst after compaction *)
+  tl_itlb_before : int;
+  tl_itlb_after : int;
+  tl_cycles_before : float;     (* weighted cycles/req, same two bursts *)
+  tl_cycles_after : float;
+  tl_hash_stable : bool;        (* identical outputs across evict+compact *)
+}
+
+(** Liveness threshold for the lifecycle scenarios.  The shifted mix
+    carries only a handful of requests per endpoint per decay window, so
+    a surviving translation's score settles near 2x its per-window execs
+    (the decay fixed point) — single digits.  The threshold sits just
+    below that, and the decay loop runs enough ticks that abandoned
+    code's warm score (hundreds to thousands of execs) halves its way
+    underneath it. *)
+let lifecycle_threshold = 3
+
+(** Fresh engine brought to steady state (warmup + retranslate-all) with
+    the lifecycle knobs set.  Same bring-up as [measure_serving]. *)
+let lifecycle_engine ~(budget : int option) ~(jit_workers : int)
+    ~(request_workers : int) ~(threshold : int) ~(compact : bool) () =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.jit_workers <- jit_workers;
+  opts.Core.Jit_options.request_workers <- request_workers;
+  opts.Core.Jit_options.code_budget <- budget;
+  opts.Core.Jit_options.tc_evict_threshold <- threshold;
+  opts.Core.Jit_options.tc_compact <- compact;
+  let eng = Core.Engine.install ~opts u in
+  for round = 0 to 14 do
+    List.iter
+      (fun (ep : Workloads.Endpoints.endpoint) ->
+         let reps = max 1 (ep.Workloads.Endpoints.ep_weight / 10) in
+         for k = 0 to reps - 1 do
+           ignore (Server.Perflab.call_endpoint u ep (round * 3 + k))
+         done)
+      Workloads.Endpoints.endpoints
+  done;
+  ignore (Core.Engine.retranslate_all eng);
+  (u, eng)
+
+(** Size the deployment cap off an uncapped bring-up: steady-state counted
+    bytes plus a sliver of headroom.  Holes left by eviction count against
+    this cap, so the budget only breathes again when compaction closes
+    them — the pressure that makes the lifecycle earn its keep. *)
+let lifecycle_budget () : int =
+  let _, eng =
+    lifecycle_engine ~budget:None ~jit_workers:1 ~request_workers:1
+      ~threshold:0 ~compact:false ()
+  in
+  Simcpu.Codecache.bytes_counted eng.Core.Engine.cache + 4096
+
+(** Interleave small shifted bursts with lifecycle ticks: traffic the
+    shifted mix still carries keeps its liveness score replenished, while
+    abandoned code's score halves every tick until it crosses the
+    eviction threshold (age >= 2 guards newly placed code). *)
+let lifecycle_decay_loop ?workers u eng =
+  for salt = 1 to 12 do
+    ignore
+      (Server.Serving.run ?workers u eng
+         (Server.Serving.mix_shifted ~salt ~rounds:2 ()));
+    ignore (Core.Engine.tc_lifecycle_tick eng)
+  done
+
+(** The measured scenario, single-domain for determinism: steady traffic,
+    then the mix shifts and the decay loop evicts the abandoned code
+    (compaction held off so the holey cache is observable), then the same
+    shifted burst is measured before and after one explicit compaction.
+    Both measured bursts run against identical lazily-recompiled state
+    (a steadying burst in between absorbs the one-time recompiles), so
+    the i-cache / I-TLB deltas isolate code density. *)
+let measure_lifecycle ~(budget : int) () : lifecycle_sample =
+  let u, eng =
+    lifecycle_engine ~budget:(Some budget) ~jit_workers:1 ~request_workers:1
+      ~threshold:lifecycle_threshold ~compact:false ()
+  in
+  (* measure on small I-TLB pages: with the hot section mapped on one
+     simulated huge page the I-TLB cannot see layout at all, and the
+     point of this scenario is exactly the density the holes destroy *)
+  eng.Core.Engine.opts.Core.Jit_options.huge_pages <- false;
+  let lo, hi = Simcpu.Codecache.main_range eng.Core.Engine.cache in
+  Simcpu.Itlb.set_huge eng.Core.Engine.machine.Core.Exec.itlb
+    ~enabled:false ~lo ~hi;
+  let cache = eng.Core.Engine.cache in
+  let opt_translations =
+    List.length
+      (List.filter
+         (fun (tr : Core.Translation.t) ->
+            tr.Core.Translation.tr_kind = Core.Translation.KOptimized)
+         (Core.Tc_print.collect eng))
+  in
+  ignore (Server.Serving.run ~workers:1 u eng (Server.Serving.mix ~rounds:12 ()));
+  let cv = Obs.Vmstats.counter_value in
+  let ev0 = cv "tc.evicted" and evb0 = cv "tc.evicted_bytes" in
+  lifecycle_decay_loop ~workers:1 u eng;
+  let evicted = cv "tc.evicted" - ev0 in
+  let evicted_bytes = cv "tc.evicted_bytes" - evb0 in
+  let holes_before = Simcpu.Codecache.holes_bytes cache in
+  let counted_before = Simcpu.Codecache.bytes_counted cache in
+  let main_before =
+    Simcpu.Codecache.section_bytes cache Simcpu.Codecache.Main in
+  let shifted = Server.Serving.mix_shifted ~salt:99 ~rounds:12 () in
+  (* steadying burst: any evicted-but-still-touched srckeys recompile as
+     live tracelets here, once, off the measured path *)
+  ignore (Server.Serving.run ~workers:1 u eng shifted);
+  let m = eng.Core.Engine.machine in
+  let ic0 = m.Core.Exec.icache.Simcpu.Icache.misses
+  and tb0 = m.Core.Exec.itlb.Simcpu.Itlb.misses in
+  let r_holey = Server.Serving.run ~workers:1 u eng shifted in
+  let icache_before = m.Core.Exec.icache.Simcpu.Icache.misses - ic0
+  and itlb_before = m.Core.Exec.itlb.Simcpu.Itlb.misses - tb0 in
+  let reclaimed = Core.Engine.compact_tc eng in
+  let holes_after = Simcpu.Codecache.holes_bytes cache in
+  let counted_after = Simcpu.Codecache.bytes_counted cache in
+  let main_after =
+    Simcpu.Codecache.section_bytes cache Simcpu.Codecache.Main in
+  let ic1 = m.Core.Exec.icache.Simcpu.Icache.misses
+  and tb1 = m.Core.Exec.itlb.Simcpu.Itlb.misses in
+  let r_compact = Server.Serving.run ~workers:1 u eng shifted in
+  let icache_after = m.Core.Exec.icache.Simcpu.Icache.misses - ic1
+  and itlb_after = m.Core.Exec.itlb.Simcpu.Itlb.misses - tb1 in
+  { tl_budget = budget;
+    tl_opt_translations = opt_translations;
+    tl_evicted = evicted;
+    tl_evicted_bytes = evicted_bytes;
+    tl_holes_before = holes_before;
+    tl_holes_after = holes_after;
+    tl_reclaimed = reclaimed;
+    tl_counted_before = counted_before;
+    tl_counted_after = counted_after;
+    tl_main_before = main_before;
+    tl_main_after = main_after;
+    tl_icache_before = icache_before;
+    tl_icache_after = icache_after;
+    tl_itlb_before = itlb_before;
+    tl_itlb_after = itlb_after;
+    tl_cycles_before =
+      Server.Serving.weighted_cycles shifted r_holey.Server.Serving.sv_cycles;
+    tl_cycles_after =
+      Server.Serving.weighted_cycles shifted r_compact.Server.Serving.sv_cycles;
+    tl_hash_stable =
+      r_holey.Server.Serving.sv_output_hash
+      = r_compact.Server.Serving.sv_output_hash }
+
+(** Worker-config parity: the full lifecycle (decay loop with automatic
+    compaction, plus one tick fired mid-burst from whichever serving
+    domain crosses the halfway mark) must leave outputs bit-identical
+    across (jit x request) worker configurations.  Victim sets may differ
+    — exec counts race benignly under parallel serving — but eviction
+    only changes the dispatch path, never a result. *)
+let lifecycle_parity ~(budget : int) ()
+  : (int * int * int * int) list * bool =
+  let configs = [ (1, 1); (2, 2); (4, 4) ] in
+  let rows =
+    List.map
+      (fun (jw, rw) ->
+         let u, eng =
+           lifecycle_engine ~budget:(Some budget) ~jit_workers:jw
+             ~request_workers:rw ~threshold:lifecycle_threshold
+             ~compact:true ()
+         in
+         let r_a =
+           Server.Serving.run u eng (Server.Serving.mix ~rounds:12 ()) in
+         lifecycle_decay_loop u eng;
+         let shifted = Server.Serving.mix_shifted ~salt:99 ~rounds:12 () in
+         let trigger =
+           (Array.length shifted / 2,
+            fun () -> ignore (Core.Engine.tc_lifecycle_tick eng))
+         in
+         let r_s = Server.Serving.run ~trigger u eng shifted in
+         (jw, rw, r_a.Server.Serving.sv_output_hash,
+          r_s.Server.Serving.sv_output_hash))
+      configs
+  in
+  let deterministic =
+    match rows with
+    | (_, _, ha, hs) :: rest ->
+      List.for_all (fun (_, _, ha', hs') -> ha' = ha && hs' = hs) rest
+    | [] -> true
+  in
+  (rows, deterministic)
+
+let lifecycle_json (s : lifecycle_sample)
+    (rows : (int * int * int * int) list) (deterministic : bool) : string =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "    \"code_budget\": %d,\n" s.tl_budget;
+  add "    \"opt_translations\": %d,\n" s.tl_opt_translations;
+  add "    \"evicted\": %d,\n" s.tl_evicted;
+  add "    \"evicted_bytes\": %d,\n" s.tl_evicted_bytes;
+  add "    \"holes_bytes_before_compact\": %d,\n" s.tl_holes_before;
+  add "    \"holes_bytes_after_compact\": %d,\n" s.tl_holes_after;
+  add "    \"reclaimed_bytes\": %d,\n" s.tl_reclaimed;
+  add "    \"counted_bytes_before\": %d,\n" s.tl_counted_before;
+  add "    \"counted_bytes_after\": %d,\n" s.tl_counted_after;
+  add "    \"main_bytes_before\": %d,\n" s.tl_main_before;
+  add "    \"main_bytes_after\": %d,\n" s.tl_main_after;
+  add "    \"icache_misses_before\": %d,\n" s.tl_icache_before;
+  add "    \"icache_misses_after\": %d,\n" s.tl_icache_after;
+  add "    \"itlb_misses_before\": %d,\n" s.tl_itlb_before;
+  add "    \"itlb_misses_after\": %d,\n" s.tl_itlb_after;
+  add "    \"weighted_cycles_before\": %.1f,\n" s.tl_cycles_before;
+  add "    \"weighted_cycles_after\": %.1f,\n" s.tl_cycles_after;
+  add "    \"hash_stable_across_compaction\": %b,\n" s.tl_hash_stable;
+  add "    \"parity\": {\n";
+  List.iter
+    (fun (jw, rw, ha, hs) ->
+       add "      \"jw%d_rw%d\": { \"hash_steady\": %d, \
+            \"hash_shifted\": %d },\n"
+         jw rw ha hs)
+    rows;
+  add "      \"deterministic\": %b\n    }\n  }" deterministic;
+  Buffer.contents b
+
+(** Run the full lifecycle scenario: sized budget, measured single-domain
+    sample, worker-config parity sweep. *)
+let lifecycle_sweep ()
+  : lifecycle_sample * (int * int * int * int) list * bool =
+  let budget = lifecycle_budget () in
+  let sample = measure_lifecycle ~budget () in
+  let rows, deterministic = lifecycle_parity ~budget () in
+  (sample, rows, deterministic)
+
+let print_lifecycle (s : lifecycle_sample)
+    (rows : (int * int * int * int) list) (deterministic : bool) =
+  Printf.printf
+    "tc lifecycle: budget %d B, %d optimized translations at peak\n"
+    s.tl_budget s.tl_opt_translations;
+  Printf.printf
+    "  evicted %d translations (%d B); holes %d B -> %d B after \
+     compaction (%d B reclaimed)\n"
+    s.tl_evicted s.tl_evicted_bytes s.tl_holes_before s.tl_holes_after
+    s.tl_reclaimed;
+  Printf.printf "  main section %d B -> %d B; counted %d B -> %d B\n"
+    s.tl_main_before s.tl_main_after s.tl_counted_before s.tl_counted_after;
+  Printf.printf
+    "  shifted burst: icache misses %d -> %d, itlb misses %d -> %d, \
+     weighted cycles/req %.0f -> %.0f\n"
+    s.tl_icache_before s.tl_icache_after s.tl_itlb_before s.tl_itlb_after
+    s.tl_cycles_before s.tl_cycles_after;
+  Printf.printf "  outputs stable across evict+compact: %b\n" s.tl_hash_stable;
+  List.iter
+    (fun (jw, rw, ha, hs) ->
+       Printf.printf "  parity jw=%d rw=%d: steady hash %d, shifted hash %d\n"
+         jw rw ha hs)
+    rows;
+  Printf.printf "  parity across worker configurations: %b\n" deterministic;
+  if not s.tl_hash_stable then begin
+    prerr_endline "ERROR: output hash changed across eviction or compaction";
+    exit 1
+  end;
+  if s.tl_holes_after <> 0 then begin
+    prerr_endline "ERROR: compaction left holes in the code cache";
+    exit 1
+  end;
+  if not deterministic then begin
+    prerr_endline
+      "ERROR: lifecycle output hash diverges across worker configurations";
+    exit 1
+  end
+
+let tc_lifecycle () =
+  hdr "TC lifecycle: eviction + compaction under a shifting request mix"
+    "(liveness decay evicts abandoned optimized code; compaction closes \
+     the holes and restores code density — §6.4 made continuous)";
+  let sample, rows, deterministic = lifecycle_sweep () in
+  print_lifecycle sample rows deterministic
+
 let serving () =
   hdr "Parallel request serving: throughput by request-worker count"
     "(HHVM serves each request on its own thread over one shared \
@@ -685,6 +974,8 @@ let json () =
   let serving_report = measure_serving_report () in
   (* startup: cold vs jumpstarted requests-to-steady-state (§6.2) *)
   let startup_rep = Server.Startup.measure_startup () in
+  (* tc lifecycle: eviction + compaction under a shifting mix *)
+  let lc_sample, lc_rows, lc_deterministic = lifecycle_sweep () in
   let buf = Buffer.create 1024 in
   let current = Buffer.create 1024 in
   Buffer.add_string current "{\n  \"modes\": {\n";
@@ -727,7 +1018,9 @@ let json () =
           serving_samples));
   Buffer.add_string current
     (Printf.sprintf ",\n    \"deterministic\": %b\n" serving_deterministic);
-  Buffer.add_string current "  },\n  \"startup\": ";
+  Buffer.add_string current "  },\n  \"tc_lifecycle\": ";
+  Buffer.add_string current (lifecycle_json lc_sample lc_rows lc_deterministic);
+  Buffer.add_string current ",\n  \"startup\": ";
   Buffer.add_string current (startup_json startup_rep);
   Buffer.add_string current ",\n  \"serving_report\": ";
   Buffer.add_string current serving_report;
@@ -789,6 +1082,10 @@ let json () =
     startup_rep.Server.Startup.sr_delta_requests
     startup_rep.Server.Startup.sr_hash_match;
   Printf.printf "differential hash match: %b\n" hash_match;
+  (* print_lifecycle also enforces the lifecycle invariants (hash
+     stability, zero holes after compaction, worker-config parity) and
+     exits non-zero on violation *)
+  print_lifecycle lc_sample lc_rows lc_deterministic;
   if not startup_rep.Server.Startup.sr_hash_match then begin
     prerr_endline "ERROR: output hash diverges between cold and jumpstarted runs";
     exit 1
@@ -912,15 +1209,16 @@ let () =
    | "vmstats" -> vmstats ()
    | "serving" -> serving ()
    | "startup" -> startup ()
+   | "tc_lifecycle" -> tc_lifecycle ()
    | "json" -> json ()
    | "all" ->
      fig8 (); fig9 (); fig10 (); fig11 (); table1 (); ablate ();
-     vmstats (); serving (); startup (); micro ()
+     vmstats (); serving (); startup (); tc_lifecycle (); micro ()
    | other ->
      Printf.eprintf
        "unknown target %S \
         (use fig8|fig9|fig10|fig11|table1|ablate|vmstats|serving|startup|\
-         micro|json|all)\n"
+         tc_lifecycle|micro|json|all)\n"
        other;
      exit 1);
   line ()

@@ -55,6 +55,7 @@ let tc_sort_conv =
   let parse = function
     | "execs" -> Ok Core.Tc_print.By_execs
     | "cycles" -> Ok Core.Tc_print.By_cycles
+    | "cold" -> Ok Core.Tc_print.By_cold
     | s -> Error (`Msg (Printf.sprintf "unknown tc-print sort %S" s))
   in
   let print fmt m =
@@ -158,9 +159,29 @@ let opts_term : Core.Jit_options.t Term.t =
            ~doc:"Emit one snapshot line every N completed requests \
                  (also SNAPSHOT_INTERVAL; 0 disables)")
   in
+  let tc_evict_threshold =
+    Arg.(value & opt int 0
+         & info [ "tc-evict-threshold" ] ~docv:"N"
+           ~doc:"Code-cache lifecycle: each tick decays every optimized \
+                 translation's liveness score (halve, then add execs \
+                 since the last tick) and evicts those below N — links \
+                 unpatched, srckey chains pruned, published without a \
+                 serving pause.  Outputs are unaffected: evicted code \
+                 falls back to lazy translation or the interpreter (also \
+                 TC_EVICT_THRESHOLD; 0 disables, the default)")
+  in
+  let tc_compact =
+    Arg.(value & flag
+         & info [ "tc-compact" ]
+           ~doc:"After a lifecycle eviction, compact the Main/Cold \
+                 sections: relocate surviving optimized translations to \
+                 close the holes, restoring i-cache/I-TLB density and \
+                 returning the evicted bytes to the code budget (also \
+                 TC_COMPACT=1)")
+  in
   let mk mode no_rce no_inlining no_relax no_dispatch no_interp_threaded
       no_stats jit_workers request_workers trace trace_out spans
-      snapshot_out snapshot_interval =
+      snapshot_out snapshot_interval tc_evict_threshold tc_compact =
     let opts = Core.Jit_options.default () in
     opts.mode <- mode;
     if no_interp_threaded then opts.interp_threaded <- Some false;
@@ -179,11 +200,15 @@ let opts_term : Core.Jit_options.t Term.t =
     if spans then opts.spans <- true;
     if snapshot_out <> None then opts.snapshot_out <- snapshot_out;
     if snapshot_interval > 0 then opts.snapshot_interval <- snapshot_interval;
+    if tc_evict_threshold > 0 then
+      opts.tc_evict_threshold <- tc_evict_threshold;
+    if tc_compact then opts.tc_compact <- true;
     opts
   in
   Term.(const mk $ mode $ no_rce $ no_inlining $ no_relax $ no_dispatch
         $ no_interp_threaded $ no_stats $ jit_workers $ request_workers
-        $ trace $ trace_out $ spans $ snapshot_out $ snapshot_interval)
+        $ trace $ trace_out $ spans $ snapshot_out $ snapshot_interval
+        $ tc_evict_threshold $ tc_compact)
 
 type telemetry = {
   te_vmstats : string option;
@@ -208,9 +233,11 @@ let telemetry_term : telemetry Term.t =
   let tc_sort =
     Arg.(value & opt tc_sort_conv Core.Tc_print.By_execs
          & info [ "tc-print-sort" ] ~docv:"KEY"
-           ~doc:"Ranking key for $(b,--tc-print): execs (default) or \
-                 cycles.  Both orders are total (final tie on translation \
-                 id), so reports are byte-stable across runs")
+           ~doc:"Ranking key for $(b,--tc-print): execs (default), \
+                 cycles, or cold (coldest first by decayed liveness score \
+                 — the order a lifecycle eviction would reap).  All \
+                 orders are total (final tie on translation id), so \
+                 reports are byte-stable across runs")
   in
   let mk te_vmstats te_tc_print te_tc_sort =
     { te_vmstats; te_tc_print; te_tc_sort }
@@ -504,6 +531,14 @@ let serve opts te jumpstart requests trigger =
     "serve: translations: %d profiling, %d optimized; retranslate runs %d\n"
     eng.Core.Engine.n_profiling eng.Core.Engine.n_optimized
     (Obs.Vmstats.counter_value "retranslate.runs");
+  if opts.Core.Jit_options.tc_evict_threshold > 0 then
+    Printf.printf
+      "serve: tc lifecycle: evicted %d translations (%d bytes), %d hole \
+       bytes, %d bytes reclaimed\n"
+      (Obs.Vmstats.counter_value "tc.evicted")
+      (Obs.Vmstats.counter_value "tc.evicted_bytes")
+      (Simcpu.Codecache.holes_bytes eng.Core.Engine.cache)
+      (Obs.Vmstats.counter_value "codecache.reclaimed_bytes");
   report_telemetry eng te
 
 let serve_term =

@@ -157,6 +157,11 @@ let c_lazy_compiled = Obs.Vmstats.counter "lazy_translate.compiled"
 let c_lazy_covered = Obs.Vmstats.counter "lazy_translate.covered"
 let c_lazy_entered = Obs.Vmstats.counter "lazy_translate.entered"
 let c_epoch_delta = Obs.Vmstats.counter "epoch.delta_publish"
+(* code-cache lifecycle: liveness-driven eviction and compaction *)
+let c_tc_evicted = Obs.Vmstats.counter "tc.evicted"
+let c_tc_evicted_bytes = Obs.Vmstats.counter "tc.evicted_bytes"
+let c_tc_evict_runs = Obs.Vmstats.counter "tc.evict_runs"
+let c_tc_compact_runs = Obs.Vmstats.counter "tc.compact_runs"
 
 (* ------------------------------------------------------------------ *)
 (* Translation tables                                                  *)
@@ -560,6 +565,46 @@ let publish_epoch_delta (eng : t) (trs : Translation.t list) : unit =
                   sl_mono = None };
          ep_trans.(fid) <- row)
       trs;
+    let lo, hi = Simcpu.Codecache.main_range eng.cache in
+    Obs.Vmstats.bump c_epoch_delta;
+    Atomic.set eng.published
+      { ep_seq = prev.ep_seq + 1;
+        ep_gen = prev.ep_gen;
+        ep_trans;
+        ep_huge = prev.ep_huge;
+        ep_main_lo = lo;
+        ep_main_hi = hi }
+  end
+
+(** Republish the affected functions' dispatch rows from the live tables
+    (the eviction counterpart of {!publish_epoch_delta}: that one layers
+    appended chains onto the previous epoch; this one replaces whole rows
+    after chains shrank).  Same incremental shape — rows of untouched
+    functions are shared with the previous epoch, the generation is
+    unchanged, one atomic store publishes — so adopting workers keep their
+    monomorphic caches and serving never pauses.  Write-lease holder
+    only. *)
+let publish_epoch_rebuild (eng : t) (fids : int list) : unit =
+  if fids <> [] then begin
+    let prev = Atomic.get eng.published in
+    let freeze_slot (sl : slot) : slot =
+      { sl_chain = Array.sub sl.sl_chain 0 sl.sl_len;
+        sl_len = sl.sl_len;
+        sl_mono = None }
+    in
+    let nfid =
+      List.fold_left (fun a fid -> max a (fid + 1))
+        (Array.length prev.ep_trans) fids
+    in
+    let ep_trans = Array.make nfid [||] in
+    Array.blit prev.ep_trans 0 ep_trans 0 (Array.length prev.ep_trans);
+    List.iter
+      (fun fid ->
+         ep_trans.(fid) <-
+           (if fid < Array.length eng.trans then
+              Array.map (Option.map freeze_slot) eng.trans.(fid)
+            else [||]))
+      fids;
     let lo, hi = Simcpu.Codecache.main_range eng.cache in
     Obs.Vmstats.bump c_epoch_delta;
     Atomic.set eng.published
@@ -1155,6 +1200,224 @@ let retranslate_all (eng : t) : int =
     (fun () -> retranslate_all_locked eng)
 
 (* ------------------------------------------------------------------ *)
+(* Code-cache lifecycle: liveness decay, eviction, Main compaction     *)
+(* ------------------------------------------------------------------ *)
+
+(** One liveness decay tick over the optimized publish sequence: halve
+    every translation's score and add the entries it received since the
+    last tick.  A translation the traffic stopped entering decays toward
+    zero geometrically while still-hot ones are replenished each tick, so
+    the score is a recency-weighted exec count, not a lifetime one. *)
+let decay_liveness (eng : t) : unit =
+  Array.iter
+    (fun (_, _, (tr : Translation.t)) ->
+       if not tr.Translation.tr_evicted then begin
+         let fresh = tr.Translation.tr_execs - tr.Translation.tr_exec_mark in
+         tr.Translation.tr_live_score <-
+           (tr.Translation.tr_live_score asr 1) + fresh;
+         tr.Translation.tr_exec_mark <- tr.Translation.tr_execs;
+         tr.Translation.tr_age <- tr.Translation.tr_age + 1
+       end)
+    eng.last_opt
+
+(** Evict optimized translations whose decayed liveness fell below
+    [threshold].  For each victim: the srckey chain is pruned (and its
+    mono cache dropped), every smashed bind jump pointing at it anywhere
+    in the surviving tables is unpatched through the link machinery, its
+    Main/Cold extents become code-cache holes, and — when a function's
+    optimized code is entirely gone — its stale profile is pruned so the
+    next retranslate-all cannot resurrect a traffic phase that has
+    passed.  The shrunk rows are published as an incremental epoch
+    rebuild; requests in flight finish on the epoch they pinned (victim
+    objects stay reachable and correct), new requests stop seeing the
+    victims at their next boundary.  Translations younger than two ticks
+    are never victims: freshly placed code has had no chance to
+    accumulate a score.  Caller must hold the write lease. *)
+let evict_cold_locked (eng : t) ~(threshold : int) : int =
+  decay_liveness eng;
+  let victims =
+    Array.to_list eng.last_opt
+    |> List.filter_map
+      (fun (_, _, (tr : Translation.t)) ->
+         if (not tr.Translation.tr_evicted)
+         && tr.Translation.tr_age >= 2
+         && tr.Translation.tr_live_score < threshold
+         then Some tr else None)
+  in
+  if victims = [] then 0
+  else begin
+    Obs.Vmstats.bump c_tc_evict_runs;
+    let affected = Hashtbl.create 8 in
+    List.iter
+      (fun (tr : Translation.t) ->
+         tr.Translation.tr_evicted <- true;
+         Hashtbl.replace affected tr.Translation.tr_fid ();
+         Simcpu.Codecache.free eng.cache Simcpu.Codecache.Main
+           tr.Translation.tr_hot_bytes;
+         Simcpu.Codecache.free eng.cache Simcpu.Codecache.Cold
+           tr.Translation.tr_cold_bytes;
+         eng.n_optimized <- eng.n_optimized - 1;
+         eng.opt_bytes <- eng.opt_bytes - tr.Translation.tr_bytes;
+         Obs.Vmstats.bump c_tc_evicted;
+         Obs.Vmstats.add c_tc_evicted_bytes tr.Translation.tr_bytes;
+         if Obs.Trace.on Obs.Trace.Translate then
+           Obs.Trace.emit Obs.Trace.Translate
+             [ ("event", Obs.Trace.S "evict");
+               ("tr", Obs.Trace.I tr.Translation.tr_id);
+               ("fid", Obs.Trace.I tr.Translation.tr_fid);
+               ("bytes", Obs.Trace.I tr.Translation.tr_bytes);
+               ("score", Obs.Trace.I tr.Translation.tr_live_score) ])
+      victims;
+    (* prune victims out of their srckey chains; drop mono caches that
+       would otherwise keep re-validating a dead entry *)
+    Hashtbl.iter
+      (fun fid () ->
+         if fid < Array.length eng.trans then
+           Array.iter
+             (function
+               | Some sl ->
+                 let keep = ref [] in
+                 for i = sl.sl_len - 1 downto 0 do
+                   let tr = sl.sl_chain.(i) in
+                   if not tr.Translation.tr_evicted then keep := tr :: !keep
+                 done;
+                 let keep = Array.of_list !keep in
+                 if Array.length keep <> sl.sl_len then begin
+                   sl.sl_chain <- keep;
+                   sl.sl_len <- Array.length keep;
+                   sl.sl_mono <- None
+                 end else begin
+                   match sl.sl_mono with
+                   | Some (tr, _) when tr.Translation.tr_evicted ->
+                     sl.sl_mono <- None
+                   | _ -> ()
+                 end
+               | None -> ())
+             eng.trans.(fid))
+      affected;
+    (* unpatch incoming smashed bind jumps: scan every surviving chain's
+       link slots and revert those whose target died.  Links smashed in
+       the current generation count as invalidations (the same counter a
+       retranslate-all generation bump feeds); a frozen reader racing the
+       store either sees the old target — still a correct, reachable
+       translation — or the unlinked state. *)
+    Array.iter
+      (fun row ->
+         Array.iter
+           (function
+             | Some sl ->
+               for i = 0 to sl.sl_len - 1 do
+                 Array.iter
+                   (fun (lk : Translation.link) ->
+                      match lk.Translation.lk_target with
+                      | Some (dst, _) when dst.Translation.tr_evicted ->
+                        if lk.Translation.lk_gen = eng.generation
+                        && Obs.Vmstats.on () then
+                          Obs.Vmstats.bump c_link_invalidated;
+                        lk.Translation.lk_target <- None
+                      | _ -> ())
+                   sl.sl_chain.(i).Translation.tr_links
+               done
+             | None -> ())
+           row)
+      eng.trans;
+    (* a function with no optimized translation left: drop its profile *)
+    Hashtbl.iter
+      (fun fid () ->
+         let any_opt = ref false in
+         if fid < Array.length eng.trans then
+           Array.iter
+             (function
+               | Some sl ->
+                 for i = 0 to sl.sl_len - 1 do
+                   if sl.sl_chain.(i).Translation.tr_kind
+                      = Translation.KOptimized
+                   then any_opt := true
+                 done
+               | None -> ())
+             eng.trans.(fid);
+         if not !any_opt then Region.Transcfg.prune_func fid)
+      affected;
+    publish_epoch_rebuild eng
+      (Hashtbl.fold (fun fid () acc -> fid :: acc) affected []);
+    List.length victims
+  end
+
+(** Compact the Main/Cold sections: rewind the cursors and re-place every
+    surviving optimized translation in its original publish order,
+    closing the eviction holes.  [Translation.relocate] rewrites each
+    survivor's instruction addresses in place, and since links, mono
+    caches and published epochs all hold the translation objects, the
+    move is visible everywhere without a fixup pass.  The tightened hot
+    extent is remapped onto huge pages and the full state republished
+    (same generation — adopting workers keep their mono caches), so the
+    i-cache/I-TLB footprint shrinks back to the live code.  Returns the
+    hole bytes closed (0 when there were none).  Caller must hold the
+    write lease. *)
+let compact_tc_locked (eng : t) : int =
+  if Simcpu.Codecache.holes_bytes eng.cache = 0 then 0
+  else begin
+    Obs.Vmstats.bump c_tc_compact_runs;
+    let survivors =
+      Array.of_list
+        (List.filter (fun (_, _, (tr : Translation.t)) ->
+             not tr.Translation.tr_evicted)
+           (Array.to_list eng.last_opt))
+    in
+    let holes = Simcpu.Codecache.compact_optimized eng.cache in
+    Array.iter
+      (fun (_, _, tr) ->
+         (* cannot fail: survivors fit in the extent they vacated *)
+         ignore (Translation.relocate ~cache:eng.cache tr))
+      survivors;
+    eng.last_opt <- survivors;
+    let lo, hi = Simcpu.Codecache.main_range eng.cache in
+    Simcpu.Itlb.set_huge eng.machine.itlb ~enabled:eng.opts.huge_pages ~lo ~hi;
+    if Obs.Trace.on Obs.Trace.Retranslate then
+      Obs.Trace.emit Obs.Trace.Retranslate
+        [ ("event", Obs.Trace.S "tc_compact");
+          ("survivors", Obs.Trace.I (Array.length survivors));
+          ("reclaimed", Obs.Trace.I holes) ];
+    publish_epoch eng;
+    holes
+  end
+
+(** Public lifecycle entry points: like [retranslate_all], each takes the
+    write lease for its whole run — lifecycle mutation serializes against
+    in-burst lazy translation drains, and a lease-holding drainer never
+    observes a half-pruned table. *)
+let evict_cold (eng : t) ~(threshold : int) : int =
+  Translate_queue.acquire ();
+  Fun.protect ~finally:Translate_queue.release
+    (fun () -> evict_cold_locked eng ~threshold)
+
+let compact_tc (eng : t) : int =
+  Translate_queue.acquire ();
+  Fun.protect ~finally:Translate_queue.release
+    (fun () -> compact_tc_locked eng)
+
+(** One lifecycle tick, the policy form the server/bench drives: decay +
+    evict below [opts.tc_evict_threshold], then compact if [opts.tc_compact]
+    asked for it.  A no-op (0, 0) until optimized code is published or
+    while the threshold is 0 (the default: lifecycle off).  Returns
+    (victims evicted, hole bytes reclaimed by compaction). *)
+let tc_lifecycle_tick (eng : t) : int * int =
+  if eng.opts.tc_evict_threshold <= 0 || not eng.optimized_published
+  then (0, 0)
+  else begin
+    Translate_queue.acquire ();
+    Fun.protect ~finally:Translate_queue.release
+      (fun () ->
+         let evicted =
+           evict_cold_locked eng ~threshold:eng.opts.tc_evict_threshold
+         in
+         let reclaimed =
+           if eng.opts.tc_compact then compact_tc_locked eng else 0
+         in
+         (evicted, reclaimed))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Jumpstart: capture and adopt optimized TC images (§6.2)             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1163,13 +1426,23 @@ let retranslate_all (eng : t) : int =
     with its current-generation link state.  [None] until a
     retranslate-all has published optimized code. *)
 let capture_image (eng : t) : Jumpstart.image option =
-  if not eng.optimized_published || Array.length eng.last_opt = 0 then None
+  (* evicted translations never enter an image: an adopting process
+     replays the publish sequence through fresh placement, so the image
+     of a post-eviction engine is the compacted survivor sequence —
+     restoring it onto a cold cache reproduces the dense layout *)
+  let live_opt =
+    Array.of_list
+      (List.filter
+         (fun (_, _, (tr : Translation.t)) -> not tr.Translation.tr_evicted)
+         (Array.to_list eng.last_opt))
+  in
+  if not eng.optimized_published || Array.length live_opt = 0 then None
   else begin
     let idx = Hashtbl.create 64 in
     Array.iteri
       (fun i (_, _, (tr : Translation.t)) ->
          Hashtbl.replace idx tr.Translation.tr_id i)
-      eng.last_opt;
+      live_opt;
     (* links smashed in the current generation between optimized
        translations, as publish-order index quadruples (translation ids
        and entry pointers don't survive a process boundary; publish
@@ -1193,11 +1466,11 @@ let capture_image (eng : t) : Jumpstart.image option =
                    | None -> ())
                 | None -> ())
            src.Translation.tr_links)
-      eng.last_opt;
+      live_opt;
     Some { Jumpstart.im_prof = Vm.Prof.export ();
            im_tcfg = Region.Transcfg.export ();
            im_next_block_id = !Region.Select.next_block_id;
-           im_trans = Array.map (fun (p, nb, _) -> (p, nb)) eng.last_opt;
+           im_trans = Array.map (fun (p, nb, _) -> (p, nb)) live_opt;
            im_links = Array.of_list (List.rev !links);
            im_opt_bytes = eng.opt_bytes }
   end
@@ -1433,6 +1706,7 @@ let sync_vmstats (eng : t) : unit =
   g "code.bytes.prof" (cb Simcpu.Codecache.Prof);
   g "code.bytes.live" (cb Simcpu.Codecache.Live);
   g "code.bytes.used" (Simcpu.Codecache.bytes_used eng.cache);
+  g "codecache.holes_bytes" (Simcpu.Codecache.holes_bytes eng.cache);
   g "icache.accesses" m.icache.Simcpu.Icache.accesses;
   g "icache.misses" m.icache.Simcpu.Icache.misses;
   g "itlb.accesses" m.itlb.Simcpu.Itlb.accesses;

@@ -94,6 +94,17 @@ type t = {
      Outputs stay bit-identical for any worker count ([LAZY_TRANSLATE=0]
      turns it off, restoring the PR 4 frozen-miss-interprets behavior). *)
   mutable lazy_translate : bool;
+  (* code-cache lifecycle ([--tc-evict-threshold N] / [TC_EVICT_THRESHOLD],
+     [--tc-compact] / [TC_COMPACT=1]): a lifecycle tick decays every
+     optimized translation's liveness score (halve, then add execs since
+     the last tick) and evicts those whose score fell below the threshold
+     — links unpatched, srckey chains pruned, published as an epoch delta.
+     0 disables eviction.  [tc_compact] makes each tick that evicted
+     something also compact the Main/Cold sections: survivors are
+     relocated to close the holes, restoring i-cache/I-TLB density and
+     returning the hole bytes to the code budget. *)
+  mutable tc_evict_threshold : int;
+  mutable tc_compact : bool;
   (* interpreter dispatch-loop selector ([--no-interp-threaded] /
      [INTERP_THREADED=0]): [None] leaves the process-wide mode alone
      (whatever {!bootstrap} resolved from the environment, or a direct
@@ -136,6 +147,8 @@ let default () : t = {
   jit_workers = 0;
   request_workers = 0;
   lazy_translate = true;
+  tc_evict_threshold = 0;
+  tc_compact = false;
   interp_threaded = None;
   resolved = false;
 }
@@ -205,7 +218,16 @@ let resolve (t : t) : unit =
       | None -> ())
    | _ -> ());
   if t.request_workers <= 0 then t.request_workers <- 1;
-  if env_off "LAZY_TRANSLATE" then t.lazy_translate <- false
+  if env_off "LAZY_TRANSLATE" then t.lazy_translate <- false;
+  (match Sys.getenv_opt "TC_EVICT_THRESHOLD" with
+   | Some s when t.tc_evict_threshold = 0 ->
+     (match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> t.tc_evict_threshold <- n
+      | _ -> ())
+   | _ -> ());
+  (match Sys.getenv_opt "TC_COMPACT" with
+   | Some ("1" | "true" | "on") -> t.tc_compact <- true
+   | _ -> ())
   end
 
 (** Deprecated alias for {!resolve} (the historical name). *)

@@ -31,13 +31,16 @@ let collect (eng : Engine.t) : Translation.t list =
     eng.Engine.trans;
   !acc
 
-(** Ranking modes: by execution count or by accumulated simulated
-    cycles.  Both are total orders with a final tie on translation id
-    (ids are assigned in a canonical order), so a report is byte-stable
-    across runs and worker counts. *)
-type sort_mode = By_execs | By_cycles
+(** Ranking modes: by execution count, by accumulated simulated cycles,
+    or coldest-first by decayed liveness score (the eviction policy's
+    view — what a lifecycle tick would reap next, oldest first among
+    equally cold code).  All are total orders with a final tie on
+    translation id (ids are assigned in a canonical order), so a report
+    is byte-stable across runs and worker counts. *)
+type sort_mode = By_execs | By_cycles | By_cold
 
-let sort_mode_name = function By_execs -> "execs" | By_cycles -> "cycles"
+let sort_mode_name = function
+  | By_execs -> "execs" | By_cycles -> "cycles" | By_cold -> "cold"
 
 let compare_by (m : sort_mode) (a : Translation.t) (b : Translation.t) : int =
   let primary, secondary =
@@ -48,6 +51,9 @@ let compare_by (m : sort_mode) (a : Translation.t) (b : Translation.t) : int =
     | By_cycles ->
       (compare b.Translation.tr_cycles a.Translation.tr_cycles,
        compare b.Translation.tr_execs a.Translation.tr_execs)
+    | By_cold ->
+      (compare a.Translation.tr_live_score b.Translation.tr_live_score,
+       compare b.Translation.tr_age a.Translation.tr_age)
   in
   match primary with
   | 0 ->
@@ -81,12 +87,14 @@ let report ?(top = 20) ?(sort = By_execs) (eng : Engine.t) : string =
          let f = Hhbc.Hunit.func u tr.Translation.tr_fid in
          Buffer.add_string buf
            (Printf.sprintf
-              "#%-3d tr=%-4d %-9s %s@%d  bytes=%-5d execs=%-8d cycles=%d\n"
+              "#%-3d tr=%-4d %-9s %s@%d  bytes=%-5d execs=%-8d cycles=%-10d \
+               live=%-6d age=%d\n"
               (rank + 1) tr.Translation.tr_id
               (Translation.kind_name tr.Translation.tr_kind)
               f.Hhbc.Instr.fn_name tr.Translation.tr_srckey
               tr.Translation.tr_bytes tr.Translation.tr_execs
-              tr.Translation.tr_cycles);
+              tr.Translation.tr_cycles tr.Translation.tr_live_score
+              tr.Translation.tr_age);
          Buffer.add_string buf
            (Printf.sprintf "      region: [%s]\n"
               (String.concat "; "

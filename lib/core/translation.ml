@@ -42,6 +42,18 @@ type t = {
      cycles spent inside this translation.  tc-print ranks by these. *)
   mutable tr_execs : int;
   mutable tr_cycles : int;
+  (* code-cache lifecycle (liveness-driven eviction + compaction).  The
+     extent bases let [relocate] rebase [tr_addr] without re-deriving the
+     layout; the liveness triple implements exec-count decay across
+     lifecycle ticks (score halves each tick, fresh execs are added). *)
+  tr_hot_bytes : int;
+  tr_cold_bytes : int;
+  mutable tr_hot_base : int;
+  mutable tr_cold_base : int;           (* 0 when the cold extent is empty *)
+  mutable tr_live_score : int;          (* decayed exec count *)
+  mutable tr_exec_mark : int;           (* tr_execs at the last decay tick *)
+  mutable tr_age : int;                 (* decay ticks survived *)
+  mutable tr_evicted : bool;
 }
 
 and link = {
@@ -256,7 +268,60 @@ let place ~(cache : Simcpu.Codecache.t) (pr : prepared) : t option =
              tr_label_index = pr.pr_label_index;
              tr_bytes = pr.pr_hot_bytes + pr.pr_cold_bytes;
              tr_execs = 0;
-             tr_cycles = 0 }
+             tr_cycles = 0;
+             tr_hot_bytes = pr.pr_hot_bytes;
+             tr_cold_bytes = pr.pr_cold_bytes;
+             tr_hot_base = hot_base;
+             tr_cold_base = cold_base;
+             tr_live_score = 0;
+             tr_exec_mark = 0;
+             tr_age = 0;
+             tr_evicted = false }
+
+(** Re-place an already-placed translation at the current section cursors
+    (TC compaction).  Allocates fresh extents and rewrites [tr_addr] in
+    place: links, mono caches, and published epoch rows all hold the
+    translation {e object}, so the move is visible everywhere at once —
+    the relocation map is the object graph itself, with no per-site
+    fixups.  Ids, inline-cache ids, and code are untouched.  Returns
+    false only if the budget refuses the allocation (it cannot when
+    compacting survivors into space they already occupied). *)
+let relocate ~(cache : Simcpu.Codecache.t) (tr : t) : bool =
+  let hot_sec = match tr.tr_kind with
+    | KProfiling -> Simcpu.Codecache.Prof
+    | KLive -> Simcpu.Codecache.Live
+    | KOptimized -> Simcpu.Codecache.Main
+  in
+  (* The compactor is already rewriting every address, so it can afford
+     what the bump allocator skips at first emission: starting each hot
+     extent on an i-cache line, so a relocated translation spans the
+     minimal number of lines (and never re-straddles a line or page
+     boundary a hole's worth of drift would have pushed it across). *)
+  Simcpu.Codecache.align_cursor cache hot_sec 64;
+  match Simcpu.Codecache.alloc cache hot_sec tr.tr_hot_bytes with
+  | None -> false
+  | Some hot_base ->
+    let cold_base =
+      if tr.tr_cold_bytes = 0 then Some 0
+      else Simcpu.Codecache.alloc cache Simcpu.Codecache.Cold tr.tr_cold_bytes
+    in
+    match cold_base with
+    | None -> false
+    | Some cold_base ->
+      let old_hot = tr.tr_hot_base and old_cold = tr.tr_cold_base in
+      let in_cold a =
+        tr.tr_cold_bytes > 0
+        && a >= old_cold && a < old_cold + tr.tr_cold_bytes
+      in
+      for i = 0 to Array.length tr.tr_addr - 1 do
+        let a = tr.tr_addr.(i) in
+        tr.tr_addr.(i) <-
+          (if in_cold a then a - old_cold + cold_base
+           else a - old_hot + hot_base)
+      done;
+      tr.tr_hot_base <- hot_base;
+      tr.tr_cold_base <- cold_base;
+      true
 
 (** Assemble a register-allocated program into the code cache (prepare +
     place in one step — the serial lazy-compile path).  Returns None when

@@ -190,6 +190,14 @@ let add (c : counter) (n : int) =
    never written from compile workers, so they need no shard path *)
 let set (g : gauge) (v : int) = if !enabled then g.g_value <- v
 
+(** High-water-mark write: keep the largest value ever set.  For levels
+    whose peak matters more than the instantaneous sample — e.g. how
+    fragmented the code cache got between compactions
+    ([codecache.holes_peak_bytes]), where dump-time sampling would read 0
+    right after a compaction closed every hole. *)
+let set_max (g : gauge) (v : int) =
+  if !enabled && v > g.g_value then g.g_value <- v
+
 (** Index of the log2 bucket for [v]: 0 for v <= 0, else 1 + floor(log2 v). *)
 let bucket_of (v : int) : int =
   if v <= 0 then 0

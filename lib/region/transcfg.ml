@@ -72,6 +72,38 @@ let record_arc ~(src : int) ~(dst : int) =
     incr r;
     last_arc := Some (key, r)
 
+(** Drop one function's profiling blocks (and every arc touching them)
+    from the registry.  Called when the TC lifecycle evicts all of a cold
+    function's optimized translations: the profile describes a traffic
+    phase that has passed, and keeping it would make the next
+    retranslate-all resurrect exactly the code that was just evicted.  A
+    later re-profile of the function starts clean. *)
+let prune_func (fid : int) : unit =
+  match Hashtbl.find_opt blocks_by_func fid with
+  | None -> ()
+  | Some lst ->
+    let ids = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Rdesc.block) ->
+         Hashtbl.replace ids b.b_id ();
+         Hashtbl.remove blocks_by_id b.b_id)
+      !lst;
+    Hashtbl.remove blocks_by_func fid;
+    let dead =
+      Hashtbl.fold
+        (fun k _ acc ->
+           let s, d = arc_unkey k in
+           if Hashtbl.mem ids s || Hashtbl.mem ids d then k :: acc else acc)
+        arcs []
+    in
+    List.iter (Hashtbl.remove arcs) dead;
+    (match !last_arc with
+     | Some (k, _) ->
+       let s, d = arc_unkey k in
+       if Hashtbl.mem ids s || Hashtbl.mem ids d then last_arc := None
+     | None -> ());
+    incr version_
+
 (* --- serialization (jumpstart, paper §6.2) --- *)
 
 (** A self-contained copy of the registry: blocks in registration order

@@ -74,6 +74,29 @@ let mix ?(salt = 0) ~(rounds : int) () : request array =
   done;
   Array.of_list (List.rev !acc)
 
+(** The same deterministic construction with the endpoint popularity
+    reversed — the traffic-shift phase of the TC-lifecycle stress.  Each
+    endpoint is requested with the weight of its mirror in the endpoint
+    list, with no minimum: a formerly hot endpoint whose mirrored weight
+    rounds to zero repetitions disappears from the mix entirely, so its
+    optimized translations stop accumulating execs and decay into
+    eviction candidates. *)
+let mix_shifted ?(salt = 0) ~(rounds : int) () : request array =
+  let eps = Array.of_list endpoints in
+  let k = Array.length eps in
+  let acc = ref [] in
+  for round = 0 to rounds - 1 do
+    Array.iteri
+      (fun i ep ->
+         let reps = eps.(k - 1 - i).ep_weight / 10 in
+         for j = 0 to reps - 1 do
+           acc := { rq_ep = ep; rq_arg = 1000 + salt * 131 + round * 3 + j }
+                  :: !acc
+         done)
+      eps
+  done;
+  Array.of_list (List.rev !acc)
+
 let output_hash (outputs : string array) : int =
   let h = ref 0 in
   Array.iteri (fun i out -> h := !h lxor Hashtbl.hash (i, out)) outputs;
@@ -232,18 +255,21 @@ let run ?workers ?trigger (u : Hhbc.Hunit.t) (eng : Core.Engine.t)
           wr_spans = Obs.Span.take ();
           wr_prof = Obs.Profiler.take () }
       in
-      (* Optional dedicated drainer domain (ISSUE: "a dedicated jit worker
-         domain or the first serve worker to win a CAS write lease" — both
-         run; the lease arbitrates).  Only spawned when the configuration
-         asks for background JIT parallelism, since on fewer cores the
-         serve workers' own opportunistic drains already keep up.  Compile
-         cycles it charges land on its own ledger account — background
-         compilation, off every request's measured cost, like HHVM's JIT
-         worker threads. *)
+      (* Dedicated drainer domain (a dedicated jit worker domain or the
+         first serve worker to win a CAS write lease — both run; the
+         lease arbitrates).  Spawned for every parallel lazy-translation
+         burst: it used to require [jit_workers >= 2] on the theory that
+         serve workers' opportunistic drains keep up on fewer cores, but
+         at exactly two request workers the lease loser has no sibling
+         left to drain for it and fell back to the interpreter by the
+         hundreds (the jw1_rw2 fallback anomaly) — the drainer is what
+         guarantees a loser's request is compiled regardless of how many
+         siblings are serving.  Compile cycles it charges land on its own
+         ledger account — background compilation, off every request's
+         measured cost, like HHVM's JIT worker threads. *)
       let stop_drainer = Atomic.make false in
       let drainer =
-        if eng.Core.Engine.opts.Core.Jit_options.jit_workers >= 2
-        && eng.Core.Engine.opts.Core.Jit_options.lazy_translate then
+        if eng.Core.Engine.opts.Core.Jit_options.lazy_translate then
           Some
             (Domain.spawn (fun () ->
                  let shard = Obs.Vmstats.shard_create () in

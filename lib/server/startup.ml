@@ -248,6 +248,7 @@ let serve_measured (u : Hhbc.Hunit.t) (eng : Core.Engine.t) ~(total : int)
     ~(retranslate_at : int option)
   : int array * string array * float * float * float =
   let next = request_stream () in
+  let window = Array.length (request_pool ()) in
   let costs = Array.make total 0 in
   let outputs = Array.make total "" in
   let minute_of c = float_of_int c /. float_of_int cycles_per_minute in
@@ -257,6 +258,15 @@ let serve_measured (u : Hhbc.Hunit.t) (eng : Core.Engine.t) ~(total : int)
     let c0 = Runtime.Ledger.read () in
     outputs.(i) <- Perflab.call_endpoint u ep (i + 1);
     costs.(i) <- Runtime.Ledger.read () - c0;
+    (* lifecycle cadence: one liveness decay / evict / compact opportunity
+       per request window.  A no-op until the operator opts in
+       (tc_evict_threshold > 0) and optimized code is published; ledger
+       restored so maintenance never shows up in the request cost stream. *)
+    if (i + 1) mod window = 0 then begin
+      let before = Runtime.Ledger.read () in
+      ignore (Core.Engine.tc_lifecycle_tick eng);
+      Runtime.Ledger.set_cycles before
+    end;
     match retranslate_at with
     | Some t when i + 1 = t ->
       pa := minute_of (Runtime.Ledger.read ());

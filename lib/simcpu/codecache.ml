@@ -13,6 +13,12 @@
 
 type section = Main | Cold | Prof | Live
 
+(* lifecycle telemetry: turnover is observable in every snapshot without
+   the caller having to re-derive it from section extents *)
+let c_reclaimed = Obs.Vmstats.counter "codecache.reclaimed_bytes"
+let g_holes = Obs.Vmstats.gauge "codecache.holes_bytes"
+let g_holes_peak = Obs.Vmstats.gauge "codecache.holes_peak_bytes"
+
 let section_name = function
   | Main -> "a" | Cold -> "acold" | Prof -> "aprof" | Live -> "alive"
 
@@ -28,12 +34,17 @@ type t = {
   mutable budget : int option;       (* cap on counted bytes; None = unlimited *)
   mutable used_counted : int;        (* bytes counted against the budget *)
   mutable used_total : int;
+  (* lifecycle accounting: eviction frees bytes logically but a bump
+     allocator cannot reuse them, so they sit as holes — still consuming
+     budget and diluting code density — until a compaction closes them *)
+  mutable holes : int;               (* evicted-but-not-compacted bytes *)
+  mutable reclaimed : int;           (* lifetime bytes returned to the pool *)
 }
 
 let create ?budget () : t =
   { cursors = [ (Main, ref (base_of Main)); (Cold, ref (base_of Cold));
                 (Prof, ref (base_of Prof)); (Live, ref (base_of Live)) ];
-    budget; used_counted = 0; used_total = 0 }
+    budget; used_counted = 0; used_total = 0; holes = 0; reclaimed = 0 }
 
 let cursor (t : t) (s : section) : int ref = List.assoc s t.cursors
 
@@ -62,6 +73,27 @@ let alloc (t : t) (s : section) (bytes : int) : int option =
     Some addr
   end
 
+(** Mark [bytes] previously allocated in a counted section as dead (an
+    evicted translation).  The bytes become a hole: budget and cursors are
+    untouched — the bump allocator cannot reuse mid-section space — so the
+    pool only truly shrinks when a compaction rewinds the cursors.  *)
+let free (t : t) (s : section) (bytes : int) : unit =
+  if counted_section s && bytes > 0 then begin
+    t.holes <- t.holes + bytes;
+    Obs.Vmstats.set g_holes t.holes;
+    Obs.Vmstats.set_max g_holes_peak t.holes
+  end
+
+(** Pad section [s] forward to a [boundary]-byte address.  The padding is
+    ordinary allocated (and budget-counted) space, not a hole — it is
+    never evictable.  If the budget cannot absorb the pad the cursor is
+    left where it is: alignment is a density optimization, never a reason
+    to fail an allocation. *)
+let align_cursor (t : t) (s : section) (boundary : int) : unit =
+  let c = cursor t s in
+  let pad = (boundary - (!c mod boundary)) mod boundary in
+  if pad > 0 then ignore (alloc t s pad)
+
 let main_range (t : t) : int * int = (base_of Main, !(cursor t Main))
 
 (** Bytes currently allocated in one section (telemetry: the vmstats
@@ -79,7 +111,33 @@ let reset_optimized (t : t) : int =
   cursor t Cold := base_of Cold;
   t.used_counted <- max 0 (t.used_counted - reclaimed);
   t.used_total <- max 0 (t.used_total - reclaimed);
+  (* any holes were inside the rewound extent, so they are closed too *)
+  t.holes <- 0;
+  t.reclaimed <- t.reclaimed + reclaimed;
+  Obs.Vmstats.add c_reclaimed reclaimed;
+  Obs.Vmstats.set g_holes 0;
   reclaimed
+
+(** Close the holes in Main+Cold: rewind both cursors and return the
+    hole bytes to the budget-counted and total pools.  The caller re-places
+    every surviving translation immediately after (in its original order),
+    so the net effect on the pools is exactly [-holes] — only the evicted
+    bytes are reclaimed; survivor bytes are given back and re-consumed.
+    Returns the number of hole bytes closed. *)
+let compact_optimized (t : t) : int =
+  let extent = section_bytes t Main + section_bytes t Cold in
+  cursor t Main := base_of Main;
+  cursor t Cold := base_of Cold;
+  t.used_counted <- max 0 (t.used_counted - extent);
+  t.used_total <- max 0 (t.used_total - extent);
+  let holes = t.holes in
+  t.holes <- 0;
+  t.reclaimed <- t.reclaimed + holes;
+  Obs.Vmstats.add c_reclaimed holes;
+  Obs.Vmstats.set g_holes 0;
+  holes
 
 let bytes_used (t : t) : int = t.used_total
 let bytes_counted (t : t) : int = t.used_counted
+let holes_bytes (t : t) : int = t.holes
+let reclaimed_bytes (t : t) : int = t.reclaimed

@@ -152,7 +152,49 @@ if [ "$startup_gate" != "ok" ]; then
   fail=1
 fi
 
+# TC lifecycle section (DESIGN.md §13): key presence, the eviction
+# actually fired, compaction closed every hole, outputs stayed stable
+# across evict/compact, and hashes agree across worker configs.
+require '"tc_lifecycle"'       'the tc_lifecycle section'
+for key in evicted evicted_bytes holes_bytes_before_compact \
+           holes_bytes_after_compact reclaimed_bytes \
+           icache_misses_before icache_misses_after \
+           itlb_misses_before itlb_misses_after \
+           weighted_cycles_before weighted_cycles_after \
+           hash_stable_across_compaction parity; do
+  require "\"$key\"" "tc_lifecycle key $key"
+done
+lifecycle_gate=$(awk '
+  /"tc_lifecycle"/ { in_lc = 1 }
+  in_lc && match($0, /"evicted": [0-9]+/) {
+    evicted = substr($0, RSTART + 11, RLENGTH - 11) + 0
+  }
+  in_lc && match($0, /"holes_bytes_after_compact": [0-9]+/) {
+    holes_after = substr($0, RSTART + 29, RLENGTH - 29) + 0
+    seen_holes = 1
+  }
+  in_lc && /"hash_stable_across_compaction"/ {
+    hash_stable = ($0 ~ /: true/)
+  }
+  in_lc && /"deterministic"/ {
+    parity_ok = ($0 ~ /: true/)
+    done = 1; in_lc = 0
+  }
+  END {
+    if (!done || !seen_holes) { print "missing tc_lifecycle fields"; exit }
+    if (evicted < 1)          { print "lifecycle evicted nothing"; exit }
+    if (holes_after != 0)     { printf "compaction left %d hole bytes\n", holes_after; exit }
+    if (!hash_stable)         { print "hash changed across evict/compact"; exit }
+    if (!parity_ok)           { print "parity across worker configs is not true"; exit }
+    print "ok"
+  }
+' "$json")
+if [ "$lifecycle_gate" != "ok" ]; then
+  echo "ERROR: tc_lifecycle gate failed ($lifecycle_gate)"
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "check_bench_json OK: serving_report keys present, profile sum ties out, interp gate holds, startup cold-vs-jumpstart invariant holds"
+echo "check_bench_json OK: serving_report keys present, profile sum ties out, interp gate holds, startup cold-vs-jumpstart invariant holds, tc_lifecycle invariants hold"

@@ -22,12 +22,22 @@
 #      and the jumpstarted run must serve with ZERO profiling
 #      translations and ZERO retranslate-alls while its output hash is
 #      bit-identical to the cold-started run's,
-#   7. serving-report + startup validation: check_bench_json.sh asserts
-#      the serving_report section carries every percentile/phase/profile
-#      key, that the folded profile's cycle total equals the report's
-#      total serving cycles exactly, and that the startup section shows
-#      the jumpstarted process reaching steady state strictly earlier
-#      than the cold one with a matching output hash.
+#   7. tc-lifecycle smoke: `bench/main.exe tc_lifecycle` runs the
+#      mix-shift scenario at JIT_WORKERS=4 REQUEST_WORKERS=4 — warm on
+#      one endpoint mix, shift the mix, decay/evict/compact — and exits
+#      nonzero on hash instability across evict/compact, leftover hole
+#      bytes after compaction, or output divergence across (jit x
+#      request) worker configs; the CLI env path (`serve` with
+#      TC_EVICT_THRESHOLD/TC_COMPACT) must evict yet hash-match a plain
+#      cold serve,
+#   8. serving-report + startup + tc_lifecycle validation:
+#      check_bench_json.sh asserts the serving_report section carries
+#      every percentile/phase/profile key, that the folded profile's
+#      cycle total equals the report's total serving cycles exactly,
+#      that the startup section shows the jumpstarted process reaching
+#      steady state strictly earlier than the cold one with a matching
+#      output hash, and that the tc_lifecycle section shows eviction
+#      fired, zero holes after compaction, and cross-config parity.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,7 +118,27 @@ if [ "$deg_hash" != "$cold_hash" ]; then
   exit 1
 fi
 
-echo "== serving report + startup validation =="
+echo "== tc lifecycle smoke (mix shift, evict + compact, 4x4 parity) =="
+JIT_WORKERS=4 REQUEST_WORKERS=4 dune exec bench/main.exe -- tc_lifecycle
+
+echo "== tc lifecycle env path (serve with eviction on) =="
+lc=$(TC_EVICT_THRESHOLD=2 TC_COMPACT=1 dune exec bin/hhvm_run.exe -- serve)
+echo "$lc"
+lc_hash=$(echo "$lc" | sed -n 's/.*output hash \(-*[0-9]*\).*/\1/p')
+if [ -z "$lc_hash" ] || [ "$lc_hash" != "$cold_hash" ]; then
+  echo "ERROR: lifecycle serve output hash ($lc_hash) != cold hash ($cold_hash)"
+  exit 1
+fi
+if ! echo "$lc" | grep -q "tc lifecycle: evicted [1-9]"; then
+  echo "ERROR: lifecycle serve evicted nothing"
+  exit 1
+fi
+if ! echo "$lc" | grep -q "0 hole bytes"; then
+  echo "ERROR: lifecycle serve left holes uncompacted"
+  exit 1
+fi
+
+echo "== serving report + startup + tc_lifecycle validation =="
 ./scripts/check_bench_json.sh
 
 echo "CI OK"

@@ -107,6 +107,64 @@ let test_cross_worker_restore () =
       Alcotest.(check (array string)) "interpreter-identical output"
         expect outputs)
 
+(* ---- lifecycle: an image captured after evict+compact restores ---- *)
+
+let test_compacted_cache_restore () =
+  with_temp (fun path ->
+      (* warm, shift the traffic until the lifecycle evicts and compacts,
+         then capture: the image must hold only the survivors (evicted
+         entries are filtered out), and a fresh process must adopt it and
+         serve interpreter-identically.  The tc knobs are execution-time
+         options, so the donor's lifecycle config doesn't poison the
+         digest for a receiver running without it. *)
+      let opts = opts_with ~jw:1 ~rw:1 () in
+      opts.Core.Jit_options.tc_evict_threshold <- 3;
+      opts.Core.Jit_options.tc_compact <- true;
+      let eng, u =
+        Server.Startup.warm ~opts ~trigger_requests:trigger () in
+      for salt = 1 to 12 do
+        ignore
+          (Server.Serving.run ~workers:1 u eng
+             (Server.Serving.mix_shifted ~salt ~rounds:2 ()));
+        ignore (Core.Engine.tc_lifecycle_tick eng)
+      done;
+      Alcotest.(check bool) "lifecycle evicted before the capture" true
+        (Obs.Vmstats.counter_value "tc.evicted" > 0);
+      Alcotest.(check int) "capture sees a hole-free cache" 0
+        (Simcpu.Codecache.holes_bytes eng.Core.Engine.cache);
+      let survivors = eng.Core.Engine.n_optimized in
+      Alcotest.(check bool) "some optimized code survived" true
+        (survivors > 0);
+      (match Core.Engine.capture_image eng with
+       | None -> Alcotest.fail "nothing to capture after compaction"
+       | Some im ->
+         let digest = Core.Jumpstart.unit_digest u opts in
+         ignore (Core.Jumpstart.save ~path ~digest im));
+      let r =
+        Server.Startup.restore ~opts:(opts_with ~jw:1 ~rw:1 ()) ~path () in
+      Alcotest.(check bool) "compacted image adopted" true
+        r.Server.Startup.rs_jumpstarted;
+      let eng2 = r.Server.Startup.rs_engine in
+      Alcotest.(check int) "survivor count restored" survivors
+        eng2.Core.Engine.n_optimized;
+      Alcotest.(check int) "restored cache has no holes" 0
+        (Simcpu.Codecache.holes_bytes eng2.Core.Engine.cache);
+      let _, outputs, _, _, _ =
+        Server.Startup.serve_measured r.Server.Startup.rs_unit eng2
+          ~total:40 ~retranslate_at:None
+      in
+      let u3 = Server.Startup.load_unit () in
+      let o3 = opts_with ~jw:1 ~rw:1 () in
+      o3.Core.Jit_options.mode <- Core.Jit_options.Interp;
+      let eng3 = Core.Engine.install ~opts:o3 u3 in
+      ignore eng3;
+      let _, expect, _, _, _ =
+        Server.Startup.serve_measured u3 eng3 ~total:40 ~retranslate_at:None
+      in
+      Alcotest.(check (array string))
+        "restored-from-compacted output is interpreter-identical"
+        expect outputs)
+
 (* ---- degradation: every bad image falls back to a working cold start ---- *)
 
 (** Restore against [path], assert rejection with [expect] in the reason,
@@ -219,6 +277,8 @@ let suite =
         test_roundtrip_parity;
       Alcotest.test_case "1x1 image restores into 4x4 process" `Quick
         test_cross_worker_restore;
+      Alcotest.test_case "evicted+compacted cache round-trips" `Quick
+        test_compacted_cache_restore;
       Alcotest.test_case "missing file falls back cold" `Quick
         test_missing_file;
       Alcotest.test_case "foreign file falls back cold" `Quick

@@ -387,6 +387,89 @@ let test_lazy_queue_overflow () =
   let ri = serving_run ~mode:Core.Jit_options.Interp 1 in
   check_serving_equal "overflow at code cap vs interpreter" ri rb
 
+(* ---- TC lifecycle: eviction + compaction under serving traffic ---- *)
+
+(* Warmed Region engine with the lifecycle knobs on, run through a decay
+   loop: small shifted bursts keep the still-trafficked code's liveness
+   score replenished while abandoned code halves its way below the
+   threshold, then a final shifted burst fires one more lifecycle tick
+   (evict + compact) mid-burst on whichever domain crosses halfway. *)
+let lifecycle_run (workers : int) : Server.Serving.result * Core.Engine.t =
+  let u = Vm.Loader.load Workloads.Endpoints.source in
+  ignore (Hhbbc.Assert_insert.run u);
+  ignore (Hhbbc.Bc_opt.run u);
+  let opts = Core.Jit_options.default () in
+  opts.Core.Jit_options.mode <- Core.Jit_options.Region;
+  opts.Core.Jit_options.request_workers <- workers;
+  opts.Core.Jit_options.tc_evict_threshold <- 3;
+  opts.Core.Jit_options.tc_compact <- true;
+  let eng = Core.Engine.install ~opts u in
+  for round = 1 to 10 do
+    List.iteri
+      (fun i ep -> ignore (Server.Perflab.call_endpoint u ep (round * 3 + i)))
+      Workloads.Endpoints.endpoints
+  done;
+  ignore (Core.Engine.retranslate_all eng);
+  for salt = 1 to 12 do
+    ignore
+      (Server.Serving.run ~workers u eng
+         (Server.Serving.mix_shifted ~salt ~rounds:2 ()));
+    ignore (Core.Engine.tc_lifecycle_tick eng)
+  done;
+  let requests = Server.Serving.mix_shifted ~salt:99 ~rounds:6 () in
+  let trigger =
+    (Array.length requests / 2,
+     fun () -> ignore (Core.Engine.tc_lifecycle_tick eng))
+  in
+  (Server.Serving.run ~workers ~trigger u eng requests, eng)
+
+let test_lifecycle_parity () =
+  let r1, eng1 = lifecycle_run 1 in
+  let ev1 = Obs.Vmstats.counter_value "tc.evicted" in
+  Alcotest.(check bool) "single-domain lifecycle evicted" true (ev1 > 0);
+  Alcotest.(check int) "compaction left no holes @ 1 worker" 0
+    (Simcpu.Codecache.holes_bytes eng1.Core.Engine.cache);
+  List.iter
+    (fun w ->
+       let r, eng = lifecycle_run w in
+       let ev = Obs.Vmstats.counter_value "tc.evicted" in
+       Alcotest.(check bool)
+         (Printf.sprintf "lifecycle evicted @ %d workers" w) true (ev > 0);
+       Alcotest.(check int)
+         (Printf.sprintf "compaction left no holes @ %d workers" w) 0
+         (Simcpu.Codecache.holes_bytes eng.Core.Engine.cache);
+       check_serving_equal
+         (Printf.sprintf "evict+compact mid-burst @ %d workers" w) r1 r)
+    [ 2; 4 ]
+
+let test_lifecycle_evict_mid_chain () =
+  (* a mass eviction + compaction fired mid-burst, while parallel workers
+     are mid-chain on the frozen epochs: every translation goes (two
+     decay calls — victims must reach age 2), survivors relocate under
+     running traffic, and outputs must match both the single-domain run
+     with the same trigger and an undisturbed run with no eviction at
+     all — eviction changes the dispatch path, never a result *)
+  let run_with_evict workers =
+    let u, eng = serving_engine () in
+    let requests = Server.Serving.mix ~rounds:6 () in
+    let evict_all () =
+      ignore (Core.Engine.evict_cold eng ~threshold:max_int);
+      ignore (Core.Engine.evict_cold eng ~threshold:max_int);
+      ignore (Core.Engine.compact_tc eng)
+    in
+    let trigger = (Array.length requests / 2, evict_all) in
+    (Server.Serving.run ~workers ~trigger u eng requests, eng)
+  in
+  let r_plain = serving_run 1 in
+  let r1, eng1 = run_with_evict 1 in
+  Alcotest.(check bool) "mass eviction fired" true
+    (Obs.Vmstats.counter_value "tc.evicted" > 0);
+  Alcotest.(check int) "no optimized code left" 0
+    eng1.Core.Engine.n_optimized;
+  check_serving_equal "eviction changes no output @ 1 worker" r_plain r1;
+  let r4, _ = run_with_evict 4 in
+  check_serving_equal "mass eviction mid-burst @ 4 workers" r_plain r4
+
 (* ---- Codecache: reset_optimized accounting ---- *)
 
 let test_codecache_reset_accounting () =
@@ -409,6 +492,43 @@ let test_codecache_reset_accounting () =
    | Some _ -> ()
    | None -> Alcotest.fail "budget not returned by reset_optimized");
   Alcotest.(check int) "counted after realloc" 9_300 (bytes_counted t)
+
+let test_codecache_free_compact_accounting () =
+  let open Simcpu.Codecache in
+  let t = create ~budget:10_000 () in
+  ignore (alloc t Main 1_000);
+  ignore (alloc t Main 500);
+  ignore (alloc t Cold 400);
+  ignore (alloc t Prof 2_000);
+  Alcotest.(check int) "counted before free" 1_900 (bytes_counted t);
+  free t Main 1_000;
+  free t Cold 400;
+  free t Prof 2_000;             (* uncounted section: never a hole *)
+  Alcotest.(check int) "holes grow on free (counted sections only)" 1_400
+    (holes_bytes t);
+  Alcotest.(check int) "budget still consumed by holes" 1_900
+    (bytes_counted t);
+  Alcotest.(check int) "cursors untouched by free" 1_500
+    (section_bytes t Main);
+  let closed = compact_optimized t in
+  Alcotest.(check int) "compaction closes exactly the holes" 1_400 closed;
+  Alcotest.(check int) "no holes after compaction" 0 (holes_bytes t);
+  Alcotest.(check int) "main cursor rewound" 0 (section_bytes t Main);
+  Alcotest.(check int) "cold cursor rewound" 0 (section_bytes t Cold);
+  (* the caller re-places the 500-byte survivor right away: net budget
+     effect of the compaction is exactly -holes *)
+  (match alloc t Main 500 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "budget not returned by compact_optimized");
+  Alcotest.(check int) "survivor re-placed" 500 (bytes_counted t);
+  Alcotest.(check int) "lifetime reclaimed counts only evicted bytes" 1_400
+    (reclaimed_bytes t);
+  (* alignment padding is allocated space, not a hole *)
+  ignore (alloc t Main 10);
+  align_cursor t Main 64;
+  Alcotest.(check int) "align pads the cursor to the boundary" 512
+    (section_bytes t Main);
+  Alcotest.(check int) "alignment creates no holes" 0 (holes_bytes t)
 
 let suite =
   ( "parallel",
@@ -442,4 +562,10 @@ let suite =
       Alcotest.test_case "lazy: queue overflow falls back to interp" `Quick
         test_lazy_queue_overflow;
       Alcotest.test_case "codecache reset_optimized accounting" `Quick
-        test_codecache_reset_accounting ] )
+        test_codecache_reset_accounting;
+      Alcotest.test_case "codecache free/compact accounting" `Quick
+        test_codecache_free_compact_accounting;
+      Alcotest.test_case "lifecycle: evict+compact parity {1,2,4}" `Quick
+        test_lifecycle_parity;
+      Alcotest.test_case "lifecycle: mass eviction mid-chain-follow" `Quick
+        test_lifecycle_evict_mid_chain ] )
